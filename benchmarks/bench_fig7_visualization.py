@@ -1,0 +1,89 @@
+"""Figure 7 — contrastive-sample visualisation on MNIST-Superpixel digits.
+
+For digits 1, 2 and 6 the paper colours each superpixel node by RGCL's node
+probability vs SGCL's Lipschitz constant and shows that the Lipschitz
+distribution tracks the digit strokes more faithfully. We reproduce the
+quantitative core: for each digit graph we score every node with both
+methods and report the ROC-AUC against the stroke ground truth (higher =
+the score better separates stroke from background noise nodes), plus an
+ASCII rendering of the score maps written to ``results/fig7_digits.txt``.
+
+Shape expectations: SGCL's Lipschitz constants separate stroke pixels from
+noise better than RGCL's learned probabilities (higher mean AUC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.baselines import RGCL
+from repro.bench import results_dir, save_results
+from repro.core import SGCLConfig, SGCLTrainer
+from repro.data import generate_superpixel_dataset
+from repro.eval import roc_auc
+from repro.graph import Batch
+from repro.tensor import no_grad
+
+_DIGITS = (1, 2, 6)
+
+
+def _ascii_map(graph, scores: np.ndarray) -> str:
+    grid = graph.meta["grid"]
+    canvas = [["." for _ in range(grid)] for _ in range(grid)]
+    ranks = (scores - scores.min()) / (np.ptp(scores) + 1e-12)
+    glyphs = " .:-=+*#%@"
+    for (row, col), value in zip(graph.meta["cells"], ranks):
+        canvas[int(row)][int(col)] = glyphs[min(int(value * 9.999), 9)]
+    return "\n".join("".join(line) for line in canvas)
+
+
+def test_fig7_visualization(benchmark, scale):
+    def run():
+        dataset = generate_superpixel_dataset(seed=0, per_digit=6,
+                                              digits=_DIGITS)
+        graphs = dataset.graphs
+        # SGCL: pretrain briefly, use the generator's Lipschitz constants.
+        config = SGCLConfig(epochs=4, batch_size=16, seed=0,
+                            lipschitz_mode="exact")
+        sgcl = SGCLTrainer(dataset.num_features, config)
+        sgcl.pretrain(graphs)
+        # RGCL: pretrain briefly, use the rationale probabilities.
+        rgcl = RGCL(dataset.num_features, seed=0, batch_size=16)
+        rgcl.pretrain(graphs, epochs=4)
+        # Two exemplars of each digit (the dataset is grouped per digit).
+        per_digit = len(graphs) // len(_DIGITS)
+        sample = [graphs[d * per_digit + i]
+                  for d in range(len(_DIGITS)) for i in range(2)]
+        records = []
+        renderings = []
+        with no_grad():
+            for graph in sample:
+                batch = Batch([graph])
+                k = sgcl.model.generator.node_constants(batch).data
+                p = rgcl.node_probabilities(batch).data
+                truth = graph.meta["semantic_nodes"].astype(int)
+                records.append({
+                    "digit": graph.y,
+                    "sgcl_auc": roc_auc(truth, k),
+                    "rgcl_auc": roc_auc(truth, p),
+                })
+                renderings.append(
+                    f"digit {graph.y} — SGCL Lipschitz constants\n"
+                    + _ascii_map(graph, k)
+                    + f"\ndigit {graph.y} — RGCL probabilities\n"
+                    + _ascii_map(graph, p) + "\n")
+        (results_dir() / "fig7_digits.txt").write_text("\n".join(renderings))
+        return records
+
+    records = run_once(benchmark, run)
+    sgcl_mean = float(np.mean([r["sgcl_auc"] for r in records]))
+    rgcl_mean = float(np.mean([r["rgcl_auc"] for r in records]))
+    print("\n=== Figure 7: stroke-identification AUC on MNIST-Superpixel ===")
+    for record in records:
+        print(f"digit {record['digit']}: SGCL {record['sgcl_auc']:.3f}  "
+              f"RGCL {record['rgcl_auc']:.3f}")
+    print(f"mean: SGCL {sgcl_mean:.3f}  RGCL {rgcl_mean:.3f} "
+          "(ASCII maps → results/fig7_digits.txt)")
+    save_results("fig7_visualization", {
+        "records": records, "sgcl_mean": sgcl_mean, "rgcl_mean": rgcl_mean})

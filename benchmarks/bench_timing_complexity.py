@@ -1,0 +1,62 @@
+"""§V timing — complexity of the Lipschitz constant generator.
+
+The paper reports that the attention approximation reduces the generator
+from O((|V||E|² + |V|)·l·B) to O((|E|² + |V|² + |V|)·l·B). We measure
+wall-clock time of the exact (mask-mechanism) and approximate (attention)
+modes as the graph size grows and check the scaling gap.
+
+Shape expectations: approx mode is asymptotically much cheaper — the
+exact/approx time ratio grows with |V|.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import save_results
+from repro.core import LipschitzConstantGenerator
+from repro.data import generate_tu_dataset
+from repro.data.tu import TU_SPECS
+from repro.gnn import GNNEncoder
+from repro.graph import Batch
+from repro.tensor import no_grad
+
+_SIZES = [0.5, 1.0, 2.0, 4.0]  # node-count multipliers of PROTEINS
+
+
+def test_timing_generator_modes(benchmark, scale):
+    def run():
+        rows = []
+        for node_scale in _SIZES:
+            dataset = generate_tu_dataset(
+                TU_SPECS["PROTEINS"], seed=0, scale=0.01,
+                node_scale=node_scale)
+            rng = np.random.default_rng(0)
+            encoder = GNNEncoder(dataset.num_features, 32, 3, rng=rng,
+                                 conv="sage")
+            timings = {}
+            for mode in ("exact", "approx"):
+                generator = LipschitzConstantGenerator(encoder, rng=rng,
+                                                       mode=mode)
+                start = time.perf_counter()
+                with no_grad():
+                    for graph in dataset.graphs:
+                        generator.node_constants(Batch([graph]))
+                timings[mode] = time.perf_counter() - start
+            avg_nodes = float(np.mean([g.num_nodes for g in dataset.graphs]))
+            rows.append({"avg_nodes": avg_nodes, **timings,
+                         "ratio": timings["exact"] / timings["approx"]})
+        return rows
+
+    rows = run_once(benchmark, run)
+    print("\n=== §V timing: Lipschitz generator exact vs approx ===")
+    print(f"{'avg |V|':>8}{'exact (s)':>12}{'approx (s)':>12}{'ratio':>8}")
+    for row in rows:
+        print(f"{row['avg_nodes']:8.1f}{row['exact']:12.3f}"
+              f"{row['approx']:12.3f}{row['ratio']:8.1f}")
+    save_results("timing_complexity", rows)
+    assert rows[-1]["ratio"] > rows[0]["ratio"], \
+        "exact/approx cost ratio should grow with graph size"

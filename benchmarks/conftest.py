@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Workload sizes are deliberately small (synthetic data, few epochs) so the
+whole suite finishes on a laptop CPU; scale them with ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.specs import bench_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_numpy():
+    """Fail fast on accidental use of the global RNG inside benches."""
+    state = np.random.get_state()
+    yield
+    np.random.set_state(state)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

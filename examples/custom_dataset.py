@@ -1,0 +1,69 @@
+"""Use SGCL on your own graphs.
+
+Run with::
+
+    python examples/custom_dataset.py
+
+Shows the minimal integration surface: build ``repro.graph.Graph`` objects
+(node features + COO edge index + label), wrap them in a ``GraphDataset``,
+and the whole pipeline — pre-training, embedding, evaluation — works
+unchanged. Here the custom data is a toy "communication networks" corpus:
+class 0 graphs contain a ring sub-network, class 1 graphs a hub-and-spoke.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SGCLConfig, SGCLTrainer
+from repro.data import GraphDataset
+from repro.eval import cross_validated_accuracy, embed_dataset
+from repro.graph import Graph
+
+
+def make_network(rng: np.random.Generator, label: int) -> Graph:
+    """A random communication network with a class-specific core."""
+    n_peripheral = int(rng.integers(8, 16))
+    edges = [(int(rng.integers(max(i, 1))), i)
+             for i in range(1, n_peripheral)]  # random tree backbone
+    core = 6
+    base = n_peripheral
+    if label == 0:  # ring core
+        edges += [(base + i, base + (i + 1) % core) for i in range(core)]
+    else:           # star core
+        edges += [(base, base + i) for i in range(1, core)]
+    edges.append((int(rng.integers(n_peripheral)), base))  # attach core
+    n = n_peripheral + core
+    # Features: one-hot "device type" + a bandwidth attribute that is high
+    # inside the core (the semantic structure).
+    device = rng.integers(4, size=n)
+    x = np.zeros((n, 5))
+    x[np.arange(n), device] = 1.0
+    x[:, 4] = rng.normal(0.1, 0.05, size=n)
+    x[base:, 4] = rng.normal(1.0, 0.1, size=core)
+    arr = np.array(edges)
+    edge_index = np.concatenate([arr, arr[:, ::-1]], axis=0).T
+    meta = {"semantic_nodes": np.arange(n) >= base}
+    return Graph(x, edge_index, y=label, meta=meta)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    graphs = [make_network(rng, label) for label in rng.integers(2, size=120)]
+    dataset = GraphDataset("CommNets", graphs, num_classes=2)
+    print(f"custom dataset: {dataset}")
+    print(f"statistics: {dataset.statistics()}")
+
+    trainer = SGCLTrainer(dataset.num_features,
+                          SGCLConfig(epochs=6, batch_size=32, seed=0))
+    trainer.pretrain(dataset.graphs)
+
+    embeddings = embed_dataset(trainer.encoder, dataset)
+    mean, std = cross_validated_accuracy(embeddings, dataset.labels(),
+                                         k=5, classifier="logreg")
+    print(f"5-fold CV accuracy on custom data: "
+          f"{100 * mean:.2f} ± {100 * std:.2f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Transfer learning: pre-train on a molecule corpus, fine-tune downstream.
+
+Run with::
+
+    python examples/molecular_transfer_learning.py
+
+Reproduces the paper's Table IV protocol in miniature: SGCL pre-trains on an
+unlabeled ZincLike corpus, the encoder is fine-tuned on scaffold-split
+multi-task biochemistry datasets, and ROC-AUC is compared against a
+non-pre-trained baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import make_method
+from repro.data import load_dataset, scaffold_split
+from repro.eval import finetune_multitask
+
+
+def evaluate(method_name: str, corpus, downstream_names) -> dict[str, float]:
+    model = make_method(method_name, corpus.num_features, seed=0)
+    model.pretrain(corpus.graphs, epochs=4)
+    scores = {}
+    for name in downstream_names:
+        downstream = load_dataset(name, seed=0, scale=0.15)
+        splits = scaffold_split(downstream)
+        auc = finetune_multitask(model.encoder, downstream, splits,
+                                 epochs=8, rng=np.random.default_rng(1))
+        scores[name] = 100.0 * auc
+    return scores
+
+
+def main() -> None:
+    corpus = load_dataset("ZINC", seed=0, scale=0.2)
+    print(f"pre-training corpus: {corpus}")
+    downstream_names = ["BBBP", "BACE", "TOX21"]
+
+    results = {name: evaluate(name, corpus, downstream_names)
+               for name in ("No Pre-Train", "SGCL")}
+
+    print(f"\n{'dataset':<10}{'No Pre-Train':>14}{'SGCL':>10}")
+    for dataset in downstream_names:
+        print(f"{dataset:<10}{results['No Pre-Train'][dataset]:>13.2f}%"
+              f"{results['SGCL'][dataset]:>9.2f}%")
+    gains = [results["SGCL"][d] - results["No Pre-Train"][d]
+             for d in downstream_names]
+    print(f"\nmean ROC-AUC gain from SGCL pre-training: "
+          f"{np.mean(gains):+.2f} points")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Quickstart: pre-train SGCL on a TU dataset and evaluate the embeddings.
+
+Run with::
+
+    python examples/quickstart.py
+
+This is the paper's unsupervised protocol in miniature: contrastive
+pre-training on unlabeled graphs, then an SVM/logistic-regression
+cross-validation over the frozen graph embeddings.
+"""
+
+from __future__ import annotations
+
+from repro.core import SGCLConfig, SGCLTrainer
+from repro.data import load_dataset
+from repro.eval import cross_validated_accuracy, embed_dataset
+
+
+def main() -> None:
+    # 1. Load a dataset. The registry serves seeded synthetic TU-like
+    #    datasets (offline stand-ins for the real TU collection).
+    dataset = load_dataset("MUTAG", seed=0, scale=0.5)
+    print(f"dataset: {dataset}")
+    print(f"statistics: {dataset.statistics()}")
+
+    # 2. Configure SGCL. Defaults follow the paper (ρ=0.9, τ=0.2,
+    #    λ_c=λ_W=0.01, 3-layer GIN encoder, Adam lr=1e-3).
+    config = SGCLConfig(epochs=8, batch_size=32, seed=0)
+    trainer = SGCLTrainer(dataset.num_features, config)
+
+    # 3. Pre-train on the graphs as unlabeled data.
+    history = trainer.pretrain(dataset.graphs)
+    print(f"final epoch stats: { {k: round(v, 4) for k, v in history[-1].items()} }")
+
+    # 4. Evaluate: embed every graph with the frozen encoder, then k-fold
+    #    cross-validated classification. classifier="svm" uses the paper's
+    #    RBF C-SVC; "logreg" is a faster option with similar results.
+    embeddings = embed_dataset(trainer.encoder, dataset)
+    mean, std = cross_validated_accuracy(embeddings, dataset.labels(),
+                                         k=10, classifier="logreg")
+    print(f"10-fold CV accuracy: {100 * mean:.2f} ± {100 * std:.2f} %")
+
+
+if __name__ == "__main__":
+    main()

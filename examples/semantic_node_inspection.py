@@ -1,0 +1,60 @@
+"""Inspect which nodes the Lipschitz constant generator calls semantic.
+
+Run with::
+
+    python examples/semantic_node_inspection.py
+
+SGCL's central mechanism is the per-node Lipschitz constant
+``K_r = D_R(G, Ĝ_r) / D_T(G, Ĝ_r)`` (Eq. 11): nodes whose removal moves the
+representation a lot per unit of topology change are semantic-related and
+protected during augmentation. The synthetic datasets record the planted
+ground truth, so we can score the generator directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SGCLConfig, SGCLTrainer
+from repro.data import load_dataset
+from repro.eval import roc_auc
+from repro.graph import Batch
+from repro.tensor import no_grad
+
+
+def main() -> None:
+    dataset = load_dataset("PROTEINS", seed=0, scale=0.1)
+    trainer = SGCLTrainer(dataset.num_features,
+                          SGCLConfig(epochs=5, batch_size=32, seed=0))
+    trainer.pretrain(dataset.graphs)
+    generator = trainer.model.generator
+
+    # Score every node of one graph.
+    graph = dataset[0]
+    with no_grad():
+        constants = generator.node_constants(Batch([graph])).data
+    truth = graph.meta["semantic_nodes"]
+    order = np.argsort(-constants)
+    print(f"graph: {graph}")
+    print(f"{'node':>5} {'K_r':>8} {'degree':>7} {'planted semantic?':>18}")
+    for node in order[:12]:
+        print(f"{node:>5} {constants[node]:>8.3f} "
+              f"{int(graph.degrees()[node]):>7} "
+              f"{'yes' if truth[node] else '':>18}")
+
+    # Aggregate identification quality over the dataset.
+    aucs = []
+    with no_grad():
+        for g in dataset.graphs[:40]:
+            k = generator.node_constants(Batch([g])).data
+            mask = g.meta["semantic_nodes"].astype(int)
+            if 0 < mask.sum() < len(mask):
+                aucs.append(roc_auc(mask, k))
+    print(f"\nsemantic-node identification ROC-AUC over "
+          f"{len(aucs)} graphs: {np.mean(aucs):.3f}")
+    print("(1.0 = the Lipschitz constants perfectly rank planted semantic "
+          "nodes above background nodes)")
+
+
+if __name__ == "__main__":
+    main()

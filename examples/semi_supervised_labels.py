@@ -1,0 +1,48 @@
+"""Semi-supervised learning: how far do 1 % / 10 % of labels go?
+
+Run with::
+
+    python examples/semi_supervised_labels.py
+
+Paper Table VI protocol in miniature: pre-train on the unlabeled training
+split, then fine-tune encoder + classification head using only a stratified
+1 % or 10 % labelled subset, and evaluate on a held-out test split. The
+value of contrastive pre-training is largest when labels are scarcest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import make_method
+from repro.data import label_rate_split, load_dataset, train_test_split
+from repro.eval import finetune_classifier
+
+
+def evaluate(method: str, dataset, label_rate: float, seed: int = 0) -> float:
+    rng = np.random.default_rng(seed)
+    train_idx, test_idx = train_test_split(len(dataset), 0.2, rng)
+    model = make_method(method, dataset.num_features, seed=seed)
+    model.pretrain([dataset[i] for i in train_idx], epochs=4)
+    labels = dataset.labels()
+    labelled_local = label_rate_split(labels[train_idx], label_rate, rng)
+    labelled_idx = train_idx[labelled_local]
+    accuracy = finetune_classifier(model.encoder, dataset, labelled_idx,
+                                   test_idx, epochs=10, rng=rng)
+    return 100.0 * accuracy
+
+
+def main() -> None:
+    dataset = load_dataset("NCI1", seed=0, scale=0.06)
+    print(f"dataset: {dataset} — {len(dataset)} graphs")
+    print(f"\n{'method':<14}{'1% labels':>12}{'10% labels':>12}")
+    for method in ("No Pre-Train", "GraphCL", "SGCL"):
+        one = evaluate(method, dataset, 0.01)
+        ten = evaluate(method, dataset, 0.10)
+        print(f"{method:<14}{one:>11.2f}%{ten:>11.2f}%")
+    print("\nExpected shape (paper Table VI): pre-trained methods beat "
+          "No-Pre-Train,\nwith the largest gaps in the 1 % setting.")
+
+
+if __name__ == "__main__":
+    main()

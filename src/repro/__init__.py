@@ -1,0 +1,24 @@
+"""repro — reproduction of SGCL (Cui et al., ICDE 2024).
+
+Semantic-aware Graph Contrastive Learning with Lipschitz Graph Augmentation,
+built end-to-end on a from-scratch numpy substrate (autodiff, GNNs, datasets,
+classifiers). See README.md for a quickstart and DESIGN.md for the system
+inventory.
+"""
+
+from . import baselines, bench, core, data, eval, gnn, graph, nn, tensor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "tensor",
+    "nn",
+    "graph",
+    "gnn",
+    "data",
+    "eval",
+    "core",
+    "baselines",
+    "bench",
+    "__version__",
+]

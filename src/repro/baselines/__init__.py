@@ -1,0 +1,46 @@
+"""Baseline methods: every comparator in the paper's tables.
+
+Neural: InfoGraph, GraphCL, JOAOv2, AD-GCL, SimGRACE, RGCL, AutoGCL,
+AttrMasking, ContextPred, GAE, Infomax(DGI), No-Pre-Train.
+Kernels: GL, WL, DGK.
+"""
+
+from .base import BasePretrainer
+from .graphcl import GraphCL
+from .infograph import InfoGraph
+from .joao import JOAOv2
+from .adgcl import ADGCL
+from .simgrace import SimGRACE
+from .rgcl import RGCL
+from .autogcl import AutoGCL
+from .pretrain import GAE, DGI, AttrMasking, ContextPred, NoPretrain
+from .kernels import dgk_features, graphlet_features, wl_features
+from .registry import (
+    KERNEL_METHODS,
+    NEURAL_METHODS,
+    kernel_feature_map,
+    make_method,
+)
+
+__all__ = [
+    "BasePretrainer",
+    "GraphCL",
+    "InfoGraph",
+    "JOAOv2",
+    "ADGCL",
+    "SimGRACE",
+    "RGCL",
+    "AutoGCL",
+    "AttrMasking",
+    "ContextPred",
+    "GAE",
+    "DGI",
+    "NoPretrain",
+    "graphlet_features",
+    "wl_features",
+    "dgk_features",
+    "make_method",
+    "kernel_feature_map",
+    "NEURAL_METHODS",
+    "KERNEL_METHODS",
+]

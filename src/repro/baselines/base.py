@@ -1,0 +1,86 @@
+"""Shared scaffolding for baseline pre-training methods.
+
+Every GCL / generative baseline in the paper's tables is implemented as a
+subclass of :class:`BasePretrainer`: it owns a :class:`GNNEncoder` (the same
+architecture SGCL uses, per §VI.A.2's encoder-matched comparison), an Adam
+optimiser, and a seeded pre-training loop; subclasses implement one
+mini-batch ``step``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data import DataLoader
+from ..gnn import GNNEncoder
+from ..graph import Graph
+from ..nn import Adam, Module
+from ..tensor import Tensor
+
+__all__ = ["BasePretrainer"]
+
+
+class BasePretrainer(Module):
+    """Base class: encoder + optimiser + epoch loop.
+
+    Parameters
+    ----------
+    in_dim:
+        Node feature dimension.
+    hidden_dim, num_layers, conv, pooling:
+        Encoder architecture (defaults match SGCL's TU setup).
+    lr, batch_size, seed:
+        Optimisation / reproducibility knobs.
+    """
+
+    #: subclasses that need ≥2 graphs per batch (contrastive losses)
+    needs_pairs = True
+
+    def __init__(self, in_dim: int, *, hidden_dim: int = 32,
+                 num_layers: int = 3, conv: str = "gin", pooling: str = "sum",
+                 lr: float = 1e-3, batch_size: int = 128, seed: int = 0):
+        super().__init__()
+        root = np.random.default_rng(seed)
+        self._init_rng = np.random.default_rng(root.integers(2 ** 63))
+        self._shuffle_rng = np.random.default_rng(root.integers(2 ** 63))
+        self.rng = np.random.default_rng(root.integers(2 ** 63))
+        self.batch_size = batch_size
+        self.lr = lr
+        self.in_dim = in_dim
+        self.encoder = GNNEncoder(in_dim, hidden_dim, num_layers,
+                                  rng=self._init_rng, conv=conv,
+                                  pooling=pooling)
+        self._build(self._init_rng)
+        self.optimizer = Adam(self.parameters(), lr=lr)
+        self.history: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _build(self, rng: np.random.Generator) -> None:
+        """Hook for subclasses to add heads/generators before the optimiser
+        collects parameters."""
+
+    def step(self, batch) -> Tensor:
+        """Compute the method's loss for one batch (subclass responsibility)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def pretrain(self, graphs: Sequence[Graph],
+                 epochs: int = 20) -> list[float]:
+        """Run the pre-training loop; returns per-epoch mean losses."""
+        self.train()
+        for _ in range(epochs):
+            losses = []
+            loader = DataLoader(graphs, self.batch_size, shuffle=True,
+                                rng=self._shuffle_rng)
+            for batch in loader:
+                if self.needs_pairs and batch.num_graphs < 2:
+                    continue
+                loss = self.step(batch)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                losses.append(loss.item())
+            self.history.append(float(np.mean(losses)) if losses else 0.0)
+        return self.history

@@ -1,0 +1,61 @@
+"""GraphCL (You et al., NeurIPS 2020) — random-augmentation contrastive learning.
+
+Two views are produced per graph by independently sampled augmentations from
+the four-operation pool (node dropping, edge perturbation, attribute masking,
+subgraph); the InfoNCE loss contrasts the views' projected embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.augmentation import GRAPHCL_AUGMENTATIONS
+from ..core.losses import semantic_info_nce
+from ..gnn import ProjectionHead
+from ..graph import Batch
+from ..tensor import Tensor
+from .base import BasePretrainer
+
+__all__ = ["GraphCL"]
+
+
+class GraphCL(BasePretrainer):
+    """GraphCL with a configurable augmentation pool.
+
+    Parameters
+    ----------
+    aug_names:
+        Subset of ``{"node_drop", "edge_perturb", "attr_mask", "subgraph"}``
+        to sample from (GraphCL tunes this per dataset; default: all four).
+    aug_ratio:
+        Perturbation strength (GraphCL default 0.2).
+    tau:
+        InfoNCE temperature.
+    """
+
+    def __init__(self, in_dim: int, *, aug_names: tuple[str, ...] | None = None,
+                 aug_ratio: float = 0.2, tau: float = 0.2, **kwargs):
+        self.aug_names = tuple(aug_names or sorted(GRAPHCL_AUGMENTATIONS))
+        unknown = set(self.aug_names) - set(GRAPHCL_AUGMENTATIONS)
+        if unknown:
+            raise ValueError(f"unknown augmentations: {sorted(unknown)}")
+        self.aug_ratio = aug_ratio
+        self.tau = tau
+        super().__init__(in_dim, **kwargs)
+
+    def _build(self, rng: np.random.Generator) -> None:
+        self.projection = ProjectionHead(self.encoder.out_dim, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _augment(self, graphs) -> Batch:
+        name = self.aug_names[int(self.rng.integers(len(self.aug_names)))]
+        op = GRAPHCL_AUGMENTATIONS[name]
+        return Batch([op(g, self.aug_ratio, self.rng) for g in graphs])
+
+    def _embed(self, batch: Batch) -> Tensor:
+        return self.projection(self.encoder.graph_representations(batch))
+
+    def step(self, batch: Batch) -> Tensor:
+        view_a = self._embed(self._augment(batch.graphs))
+        view_b = self._embed(self._augment(batch.graphs))
+        return semantic_info_nce(view_a, view_b, self.tau)

@@ -1,0 +1,45 @@
+"""InfoGraph (Sun et al., ICLR 2020) — local-global mutual information.
+
+Maximises the Jensen-Shannon MI estimate between node-level representations
+and their own graph's pooled representation: a bilinear discriminator scores
+(node, graph) pairs; nodes paired with their own graph are positives, nodes
+paired with the other graphs in the batch are negatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Batch
+from ..nn import Parameter
+from ..tensor import Tensor
+from .base import BasePretrainer
+
+__all__ = ["InfoGraph"]
+
+
+def _softplus(x: Tensor) -> Tensor:
+    return x.softplus()
+
+
+class InfoGraph(BasePretrainer):
+    """InfoGraph with a bilinear local-global discriminator."""
+
+    def _build(self, rng: np.random.Generator) -> None:
+        dim = self.encoder.out_dim
+        self.bilinear = Parameter(rng.normal(0, 0.1, size=(dim, dim)))
+
+    def step(self, batch: Batch) -> Tensor:
+        nodes = self.encoder(batch)
+        graphs = self.encoder.graph_representations(batch)
+        # score[v, g] = h_v^T B z_g for every node-graph pair in the batch.
+        scores = (nodes @ self.bilinear) @ graphs.T
+        own = np.zeros((batch.num_nodes, batch.num_graphs), dtype=bool)
+        own[np.arange(batch.num_nodes), batch.node_graph] = True
+        # JSD MI estimator: E_pos[-sp(-s)] - E_neg[sp(s)] → minimise negation.
+        positive = scores[(np.arange(batch.num_nodes), batch.node_graph)]
+        positive_term = _softplus(-positive).mean()
+        negative_all = _softplus(scores) * Tensor((~own).astype(np.float64))
+        negative_term = negative_all.sum() * (
+            1.0 / max((~own).sum(), 1))
+        return positive_term + negative_term

@@ -1,0 +1,65 @@
+"""JOAOv2 (You et al., ICML 2021) — joint augmentation optimisation.
+
+GraphCL with the augmentation-pair distribution learned by a min-max game:
+the sampler upweights augmentation pairs that currently yield *high*
+contrastive loss (hard augmentations), while the encoder minimises the loss
+under the sampled pairs. JOAOv2 additionally uses an augmentation-aware
+projection head (one head per augmentation); we keep per-augmentation heads
+as in the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.augmentation import GRAPHCL_AUGMENTATIONS
+from ..core.losses import semantic_info_nce
+from ..gnn import ProjectionHead
+from ..graph import Batch
+from ..tensor import Tensor
+from .base import BasePretrainer
+
+__all__ = ["JOAOv2"]
+
+
+class JOAOv2(BasePretrainer):
+    """JOAOv2 with learned augmentation-pair sampling distribution."""
+
+    def __init__(self, in_dim: int, *, aug_ratio: float = 0.2,
+                 tau: float = 0.2, gamma: float = 0.1, **kwargs):
+        self.aug_ratio = aug_ratio
+        self.tau = tau
+        self.gamma = gamma  # step size of the distribution update
+        self.aug_names = sorted(GRAPHCL_AUGMENTATIONS)
+        self.aug_probs = np.full(len(self.aug_names),
+                                 1.0 / len(self.aug_names))
+        self._recent_losses = np.zeros(len(self.aug_names))
+        super().__init__(in_dim, **kwargs)
+
+    def _build(self, rng: np.random.Generator) -> None:
+        self.heads = [ProjectionHead(self.encoder.out_dim, rng=rng)
+                      for _ in self.aug_names]
+
+    # ------------------------------------------------------------------
+    def _augment(self, graphs, aug_index: int) -> Batch:
+        op = GRAPHCL_AUGMENTATIONS[self.aug_names[aug_index]]
+        return Batch([op(g, self.aug_ratio, self.rng) for g in graphs])
+
+    def step(self, batch: Batch) -> Tensor:
+        index = int(self.rng.choice(len(self.aug_names), p=self.aug_probs))
+        head = self.heads[index]
+        z_a = head(self.encoder.graph_representations(
+            self._augment(batch.graphs, index)))
+        z_b = head(self.encoder.graph_representations(
+            self._augment(batch.graphs, index)))
+        loss = semantic_info_nce(z_a, z_b, self.tau)
+        self._update_distribution(index, loss.item())
+        return loss
+
+    def _update_distribution(self, index: int, loss_value: float) -> None:
+        """Mirror-descent-style update: upweight high-loss augmentations."""
+        self._recent_losses[index] = loss_value
+        logits = self.gamma * self._recent_losses
+        logits -= logits.max()
+        exp = np.exp(logits)
+        self.aug_probs = exp / exp.sum()

@@ -1,0 +1,103 @@
+"""Name → method factory registry used by the benchmark harness.
+
+Neural methods share the interface ``method = make_method(name, in_dim,
+**overrides)`` → an object with ``.pretrain(graphs, epochs)`` and
+``.encoder``; kernel methods are exposed through
+:func:`kernel_feature_map`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core import SGCLConfig, SGCLTrainer
+from .adgcl import ADGCL
+from .autogcl import AutoGCL
+from .graphcl import GraphCL
+from .infograph import InfoGraph
+from .joao import JOAOv2
+from .kernels import dgk_features, graphlet_features, wl_features
+from .pretrain import GAE, DGI, AttrMasking, ContextPred, NoPretrain
+from .rgcl import RGCL
+from .simgrace import SimGRACE
+
+__all__ = ["make_method", "kernel_feature_map", "NEURAL_METHODS",
+           "KERNEL_METHODS"]
+
+
+class _SGCLAdapter:
+    """Present :class:`SGCLTrainer` through the baseline interface."""
+
+    def __init__(self, in_dim: int, **overrides):
+        config_fields = set(SGCLConfig.__dataclass_fields__)
+        config_kwargs = {k: v for k, v in overrides.items()
+                         if k in config_fields}
+        unknown = set(overrides) - config_fields
+        if unknown:
+            raise TypeError(f"unknown SGCL options: {sorted(unknown)}")
+        self.trainer = SGCLTrainer(in_dim, SGCLConfig(**config_kwargs))
+
+    @property
+    def encoder(self):
+        return self.trainer.encoder
+
+    @property
+    def model(self):
+        return self.trainer.model
+
+    def pretrain(self, graphs, epochs: int = 20):
+        return self.trainer.pretrain(graphs, epochs=epochs)
+
+
+def _sgcl_variant(**fixed):
+    def factory(in_dim: int, **overrides):
+        merged = dict(fixed)
+        merged.update(overrides)
+        return _SGCLAdapter(in_dim, **merged)
+
+    return factory
+
+
+NEURAL_METHODS: dict[str, Callable] = {
+    "InfoGraph": InfoGraph,
+    "GraphCL": GraphCL,
+    "JOAOv2": JOAOv2,
+    "AD-GCL": ADGCL,
+    "SimGRACE": SimGRACE,
+    "RGCL": RGCL,
+    "AutoGCL": AutoGCL,
+    "AttrMasking": AttrMasking,
+    "ContextPred": ContextPred,
+    "GAE": GAE,
+    "Infomax": DGI,
+    "No Pre-Train": NoPretrain,
+    "SGCL": _sgcl_variant(),
+    # Table V ablation rows.
+    "SGCL w/o VG": _sgcl_variant(augmentation="random"),
+    "SGCL w/o LGA": _sgcl_variant(augmentation="learnable"),
+    "SGCL w/o SRL": _sgcl_variant(use_semantic_readout=False),
+    "SGCL w/o Lc": _sgcl_variant(use_complement_loss=False, lambda_c=0.0),
+    "SGCL w/o LW": _sgcl_variant(use_weight_reg=False, lambda_w=0.0),
+}
+
+KERNEL_METHODS: dict[str, Callable] = {
+    "GL": graphlet_features,
+    "WL": wl_features,
+    "DGK": dgk_features,
+}
+
+
+def make_method(name: str, in_dim: int, **overrides):
+    """Instantiate a neural pre-training method by its paper name."""
+    if name not in NEURAL_METHODS:
+        raise KeyError(
+            f"unknown method {name!r}; available: {sorted(NEURAL_METHODS)}")
+    return NEURAL_METHODS[name](in_dim, **overrides)
+
+
+def kernel_feature_map(name: str, graphs):
+    """Explicit feature map of a kernel method by its paper name."""
+    if name not in KERNEL_METHODS:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNEL_METHODS)}")
+    return KERNEL_METHODS[name](graphs)

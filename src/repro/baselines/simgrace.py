@@ -1,0 +1,46 @@
+"""SimGRACE (Xia et al., WWW 2022) — contrast without graph augmentation.
+
+The second view comes from a *perturbed copy of the encoder*: each parameter
+is perturbed by Gaussian noise scaled to its own magnitude
+(``θ' = θ + η·ε, ε ~ N(0, σ(θ)²)``); the InfoNCE loss contrasts the original
+and perturbed encoders' embeddings of the same graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.losses import semantic_info_nce
+from ..gnn import ProjectionHead
+from ..graph import Batch
+from ..tensor import Tensor, no_grad
+from .base import BasePretrainer
+
+__all__ = ["SimGRACE"]
+
+
+class SimGRACE(BasePretrainer):
+    """SimGRACE with magnitude-scaled weight perturbation."""
+
+    def __init__(self, in_dim: int, *, eta: float = 0.1, tau: float = 0.2,
+                 **kwargs):
+        self.eta = eta
+        self.tau = tau
+        super().__init__(in_dim, **kwargs)
+
+    def _build(self, rng: np.random.Generator) -> None:
+        self.projection = ProjectionHead(self.encoder.out_dim, rng=rng)
+
+    def step(self, batch: Batch) -> Tensor:
+        z_anchor = self.projection(self.encoder.graph_representations(batch))
+        saved = self.encoder.state_dict()
+        for param in self.encoder.parameters():
+            scale = float(param.data.std())
+            if scale > 0:
+                param.data += self.eta * self.rng.normal(
+                    0, scale, size=param.data.shape)
+        with no_grad():
+            z_view = self.projection(
+                self.encoder.graph_representations(batch))
+        self.encoder.load_state_dict(saved)
+        return semantic_info_nce(z_anchor, z_view.detach(), self.tau)

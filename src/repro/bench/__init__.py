@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment runners, paper numbers, reporting."""
+
+from . import specs
+from .harness import (
+    average_ranks,
+    print_comparison_table,
+    results_dir,
+    run_kernel_unsupervised,
+    run_semisupervised,
+    run_transfer,
+    run_unsupervised,
+    save_results,
+)
+
+__all__ = [
+    "specs",
+    "run_unsupervised",
+    "run_kernel_unsupervised",
+    "run_transfer",
+    "run_semisupervised",
+    "average_ranks",
+    "print_comparison_table",
+    "save_results",
+    "results_dir",
+]

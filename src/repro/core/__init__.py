@@ -1,0 +1,57 @@
+"""SGCL core — the paper's contribution.
+
+Public API:
+
+* :class:`SGCLConfig` — hyper-parameters and ablation switches.
+* :class:`SGCLModel` — generator tower + representation tower.
+* :class:`SGCLTrainer` — pre-training loop; ``trainer.encoder`` is the
+  downstream-ready ``f_k``.
+* :class:`LipschitzConstantGenerator` — per-node Lipschitz constants.
+* Augmentation operators (Φ, Lipschitz augmentation, GraphCL perturbations).
+* Loss functions (Eq. 24–26) and Theorem-1 verification utilities.
+"""
+
+from .config import SGCLConfig
+from .lipschitz import LipschitzConstantGenerator, topology_distance
+from .augmentation import (
+    GRAPHCL_AUGMENTATIONS,
+    attribute_mask,
+    augmentation_probability_mask,
+    binarize_constants,
+    drop_single_node,
+    lipschitz_augment,
+    phi_node_drop,
+    random_edge_perturb,
+    random_node_drop,
+    random_subgraph,
+)
+from .losses import complement_loss, semantic_info_nce, weight_regularizer
+from .model import SGCLModel, SemanticScores
+from .trainer import SGCLTrainer
+from . import analysis, theory
+from .adaptation import adapt_generator
+
+__all__ = [
+    "SGCLConfig",
+    "SGCLModel",
+    "SemanticScores",
+    "SGCLTrainer",
+    "LipschitzConstantGenerator",
+    "topology_distance",
+    "drop_single_node",
+    "phi_node_drop",
+    "binarize_constants",
+    "augmentation_probability_mask",
+    "lipschitz_augment",
+    "random_node_drop",
+    "random_edge_perturb",
+    "attribute_mask",
+    "random_subgraph",
+    "GRAPHCL_AUGMENTATIONS",
+    "semantic_info_nce",
+    "complement_loss",
+    "weight_regularizer",
+    "theory",
+    "analysis",
+    "adapt_generator",
+]

@@ -1,0 +1,131 @@
+"""Analysis utilities for contrastive representations and augmentations.
+
+Three groups of diagnostics used throughout the benches, tests and the
+EXPERIMENTS write-up:
+
+* **Semantic identification** — how well per-node scores (Lipschitz
+  constants, RGCL probabilities, …) rank planted semantic nodes above
+  background ones. This quantifies Fig. 7.
+* **Alignment / uniformity** (Wang & Isola, 2020 — the paper's [48]): the
+  two quantities the complement loss is argued to improve: positive pairs
+  should be aligned, the embedding distribution should be uniform on the
+  sphere.
+* **View label consistency** — Theorem 1's observable: a good augmentation
+  keeps the (downstream-probed) label distribution of views close to the
+  anchors'.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eval.metrics import roc_auc
+from ..eval.linear_model import LogisticRegression
+from ..graph import Batch, Graph
+from ..nn import l2_normalize
+from ..tensor import Tensor, no_grad
+
+__all__ = [
+    "semantic_identification_auc",
+    "alignment",
+    "uniformity",
+    "alignment_uniformity",
+    "view_label_consistency",
+]
+
+
+def semantic_identification_auc(score_fn, graphs: list[Graph],
+                                max_graphs: int | None = None) -> float:
+    """Mean ROC-AUC of per-node scores against planted semantic masks.
+
+    Parameters
+    ----------
+    score_fn:
+        ``graph -> ndarray`` of per-node scores (higher = more semantic).
+        For a Lipschitz generator pass e.g.
+        ``lambda g: generator.node_constants(Batch([g])).data``.
+    graphs:
+        Graphs whose ``meta["semantic_nodes"]`` is the ground truth; graphs
+        with all-semantic or no-semantic nodes are skipped.
+    """
+    aucs = []
+    for graph in graphs[:max_graphs]:
+        truth = np.asarray(graph.meta["semantic_nodes"]).astype(int)
+        if not 0 < truth.sum() < len(truth):
+            continue
+        with no_grad():
+            scores = np.asarray(score_fn(graph), dtype=float)
+        if scores.shape != truth.shape:
+            raise ValueError("score_fn must return one score per node")
+        aucs.append(roc_auc(truth, scores))
+    if not aucs:
+        return float("nan")
+    return float(np.mean(aucs))
+
+
+def alignment(anchor_embeddings: np.ndarray, view_embeddings: np.ndarray,
+              alpha: float = 2.0) -> float:
+    """Wang–Isola alignment: ``E ‖z − z⁺‖^α`` over normalised positives.
+
+    Lower is better (positive pairs close together).
+    """
+    a = _normalise(anchor_embeddings)
+    b = _normalise(view_embeddings)
+    if a.shape != b.shape:
+        raise ValueError("anchor/view embedding shapes must match")
+    return float((np.linalg.norm(a - b, axis=1) ** alpha).mean())
+
+
+def uniformity(embeddings: np.ndarray, t: float = 2.0) -> float:
+    """Wang–Isola uniformity: ``log E exp(−t ‖z_i − z_j‖²)`` over pairs.
+
+    Lower (more negative) is better (embeddings spread over the sphere).
+    """
+    z = _normalise(embeddings)
+    n = len(z)
+    if n < 2:
+        raise ValueError("uniformity needs at least 2 embeddings")
+    squared = ((z[:, None, :] - z[None, :, :]) ** 2).sum(axis=-1)
+    mask = ~np.eye(n, dtype=bool)
+    return float(np.log(np.exp(-t * squared[mask]).mean()))
+
+
+def alignment_uniformity(anchor_embeddings: np.ndarray,
+                         view_embeddings: np.ndarray) -> dict[str, float]:
+    """Both diagnostics at once (the paper's [48] analysis)."""
+    return {
+        "alignment": alignment(anchor_embeddings, view_embeddings),
+        "uniformity": uniformity(anchor_embeddings),
+    }
+
+
+def view_label_consistency(encoder, graphs: list[Graph],
+                           views: list[Graph], labels: np.ndarray,
+                           train_fraction: float = 0.7,
+                           seed: int = 0) -> float:
+    """Fraction of views classified as their anchor's label.
+
+    A linear probe is fitted on the anchors' pooled embeddings, then applied
+    to the views. High consistency means the augmentation preserved the
+    discriminative semantics — the quantity Theorem 1 bounds via
+    |CE(Y, G) − CE(Y, Ĝ)|.
+    """
+    if len(graphs) != len(views):
+        raise ValueError("need one view per anchor graph")
+    labels = np.asarray(labels)
+    with no_grad():
+        anchor_z = encoder.graph_representations(Batch(graphs)).data
+        view_z = encoder.graph_representations(Batch(views)).data
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(graphs))
+    cut = max(2, int(train_fraction * len(graphs)))
+    train_idx = order[:cut]
+    probe = LogisticRegression(C=1.0)
+    probe.fit(anchor_z[train_idx], labels[train_idx])
+    predictions = probe.predict(view_z)
+    return float((predictions == labels).mean())
+
+
+def _normalise(embeddings: np.ndarray) -> np.ndarray:
+    z = np.asarray(embeddings, dtype=float)
+    return l2_normalize(Tensor(z)).data

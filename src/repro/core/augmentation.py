@@ -1,0 +1,199 @@
+"""Graph augmentation operators (paper §III.B, §IV.C).
+
+The node-dropping operator Φ of Definition 3 plus the paper's Lipschitz
+graph augmentation, and the four classic GraphCL perturbations used by the
+baselines and the w/o-VG ablation.
+
+On ρ semantics: Definition 3 calls ``ρ|V|`` "the number of dropping nodes",
+but the tuned value ρ=0.9 and the §VI.D discussion ("tune it around a
+comparatively large value … semantic-unrelated nodes also contribute")
+only make sense if ρ is the *keep* ratio. We therefore drop
+``round((1−ρ)·|V|)`` nodes (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = [
+    "drop_single_node",
+    "phi_node_drop",
+    "binarize_constants",
+    "augmentation_probability_mask",
+    "lipschitz_augment",
+    "random_node_drop",
+    "random_edge_perturb",
+    "attribute_mask",
+    "random_subgraph",
+    "GRAPHCL_AUGMENTATIONS",
+]
+
+
+# ----------------------------------------------------------------------
+# The Φ operator (Definition 3)
+# ----------------------------------------------------------------------
+def drop_single_node(graph: Graph, node: int) -> Graph:
+    """``Ĝ_r = Φ(G, 1, v_r)`` — drop one specific node."""
+    return graph.drop_nodes(np.array([node]))
+
+
+def phi_node_drop(graph: Graph, num_drop: int, probabilities: np.ndarray,
+                  rng: np.random.Generator) -> Graph:
+    """``Ĝ = Φ(G, num_drop, P(V))`` — drop ``num_drop`` nodes sampled
+    without replacement with probability proportional to ``probabilities``.
+
+    Nodes with zero probability are never dropped; if fewer than
+    ``num_drop`` nodes are droppable, only those are dropped. At least one
+    node always survives.
+    """
+    n = graph.num_nodes
+    num_drop = int(np.clip(num_drop, 0, n - 1))
+    if num_drop == 0:
+        return _identity_view(graph)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.shape != (n,):
+        raise ValueError(f"probabilities must have shape ({n},)")
+    weights = np.clip(probabilities, 0.0, None)
+    droppable = int((weights > 0).sum())
+    num_drop = min(num_drop, droppable)
+    if num_drop == 0:
+        return _identity_view(graph)
+    weights = weights / weights.sum()
+    drop = rng.choice(n, size=num_drop, replace=False, p=weights)
+    view = graph.drop_nodes(drop)
+    view.meta["dropped_nodes"] = np.sort(drop)
+    return view
+
+
+def _identity_view(graph: Graph) -> Graph:
+    """A no-drop view with the same metadata contract as a real one."""
+    view = graph.copy()
+    view.meta["dropped_nodes"] = np.array([], dtype=np.int64)
+    view.meta["parent_nodes"] = np.arange(graph.num_nodes)
+    return view
+
+
+# ----------------------------------------------------------------------
+# Lipschitz graph augmentation (§IV.C)
+# ----------------------------------------------------------------------
+def binarize_constants(constants: np.ndarray) -> np.ndarray:
+    """Eq. 16–17: threshold the Lipschitz constants at their mean.
+
+    ``C_i = 1`` marks semantic-related nodes (``K_i ≥ K̄``), which the
+    augmentation must never drop.
+    """
+    constants = np.asarray(constants, dtype=np.float64)
+    return (constants >= constants.mean()).astype(np.float64)
+
+
+def augmentation_probability_mask(binary: np.ndarray,
+                                  head_scores: np.ndarray) -> np.ndarray:
+    """Eq. 18: ``P(v_i) = C_i + (1 − C_i)·σ(h_i w^T)``.
+
+    ``head_scores`` are the already-sigmoided probability-head outputs.
+    ``P`` is the probability of a node being *kept* — semantic-related nodes
+    get P=1 (never dropped).
+    """
+    binary = np.asarray(binary, dtype=np.float64)
+    head_scores = np.asarray(head_scores, dtype=np.float64)
+    return binary + (1.0 - binary) * head_scores
+
+
+def lipschitz_augment(graph: Graph, keep_probability: np.ndarray, rho: float,
+                      rng: np.random.Generator) -> tuple[Graph, Graph]:
+    """Generate the positive view Ĝ (Eq. 19) and complement view Ĝ^c (Eq. 20).
+
+    ``Ĝ`` drops ``(1−ρ)|V|`` nodes sampled with weight ``1 − P`` (so only
+    semantic-unrelated nodes go); ``Ĝ^c`` drops the same count sampled with
+    weight ``P`` (preferentially removing semantic-related nodes, leaving
+    the non-semantic residue used as an extra negative).
+    """
+    n = graph.num_nodes
+    num_drop = int(round((1.0 - rho) * n))
+    positive = phi_node_drop(graph, num_drop, 1.0 - keep_probability, rng)
+    complement = phi_node_drop(graph, num_drop, keep_probability, rng)
+    return positive, complement
+
+
+# ----------------------------------------------------------------------
+# Classic GraphCL augmentations (baselines + w/o-VG ablation)
+# ----------------------------------------------------------------------
+def random_node_drop(graph: Graph, ratio: float,
+                     rng: np.random.Generator) -> Graph:
+    """Drop a uniformly random ``ratio`` fraction of nodes."""
+    n = graph.num_nodes
+    num_drop = int(np.clip(round(ratio * n), 0, n - 1))
+    return phi_node_drop(graph, num_drop, np.ones(n), rng)
+
+
+def random_edge_perturb(graph: Graph, ratio: float,
+                        rng: np.random.Generator) -> Graph:
+    """Remove a ``ratio`` fraction of undirected edges and add as many new."""
+    pairs = graph.edge_index.T
+    undirected = pairs[pairs[:, 0] < pairs[:, 1]]
+    m = len(undirected)
+    if m == 0:
+        return graph.copy()
+    num_change = int(round(ratio * m))
+    keep_mask = np.ones(m, dtype=bool)
+    if num_change:
+        keep_mask[rng.choice(m, size=num_change, replace=False)] = False
+    kept = undirected[keep_mask]
+    existing = {frozenset(e) for e in kept.tolist()}
+    added = []
+    attempts = 0
+    n = graph.num_nodes
+    while len(added) < num_change and attempts < 20 * max(num_change, 1):
+        attempts += 1
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v or frozenset((u, v)) in existing:
+            continue
+        existing.add(frozenset((u, v)))
+        added.append((u, v))
+    all_edges = np.concatenate(
+        [kept, np.array(added, dtype=np.int64).reshape(-1, 2)], axis=0)
+    both = np.concatenate([all_edges, all_edges[:, ::-1]], axis=0).T
+    return Graph(graph.x.copy(), both, graph.y, dict(graph.meta))
+
+
+def attribute_mask(graph: Graph, ratio: float,
+                   rng: np.random.Generator) -> Graph:
+    """Zero out the features of a random ``ratio`` fraction of nodes."""
+    n = graph.num_nodes
+    num_mask = int(round(ratio * n))
+    x = graph.x.copy()
+    if num_mask:
+        masked = rng.choice(n, size=min(num_mask, n), replace=False)
+        x[masked] = 0.0
+    return Graph(x, graph.edge_index.copy(), graph.y, dict(graph.meta))
+
+
+def random_subgraph(graph: Graph, ratio: float,
+                    rng: np.random.Generator) -> Graph:
+    """Keep a random-walk-induced subgraph of ``ratio·|V|`` nodes."""
+    n = graph.num_nodes
+    target = max(1, int(round((1.0 - ratio) * n)))
+    neighbours: dict[int, list[int]] = {}
+    for u, v in graph.edge_index.T:
+        neighbours.setdefault(int(u), []).append(int(v))
+    visited = {int(rng.integers(n))}
+    frontier = list(visited)
+    while len(visited) < target and frontier:
+        node = frontier.pop(int(rng.integers(len(frontier))))
+        for neighbour in neighbours.get(node, []):
+            if neighbour not in visited:
+                visited.add(neighbour)
+                frontier.append(neighbour)
+                if len(visited) >= target:
+                    break
+    return graph.subgraph(np.sort(np.fromiter(visited, dtype=np.int64)))
+
+
+GRAPHCL_AUGMENTATIONS = {
+    "node_drop": random_node_drop,
+    "edge_perturb": random_edge_perturb,
+    "attr_mask": attribute_mask,
+    "subgraph": random_subgraph,
+}

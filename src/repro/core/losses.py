@@ -1,0 +1,97 @@
+"""Contrastive objectives (paper §IV.D, Eq. 24–27).
+
+Similarities are cosine (unit-normalised dot products) divided by the
+temperature τ, as in the released GraphCL/RGCL implementations the paper
+builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, l2_normalize
+from ..tensor import Tensor
+
+__all__ = ["semantic_info_nce", "complement_loss", "weight_regularizer",
+           "graph_likelihood_loss"]
+
+
+def graph_likelihood_loss(reps: Tensor, edge_index: np.ndarray,
+                          degrees: np.ndarray, edge_weight: Tensor,
+                          rng: np.random.Generator) -> Tensor:
+    """Negative log graph probability under the paper's edge model (Eq. 2–3).
+
+    ``P(e_ij) = δ((h_i/d_i + h_j/d_j)·w)`` for observed edges; an equal
+    number of uniformly sampled non-edges act as negatives (the standard
+    contrastive estimate of the likelihood — without them the model could
+    satisfy Eq. 3 by scoring *every* pair as an edge). This is the
+    generator tower's training signal.
+    """
+    from ..tensor import concatenate, gather
+
+    num_edges = edge_index.shape[1]
+    n = len(reps)
+    if num_edges == 0 or n < 2:
+        return Tensor(0.0)
+    deg = Tensor(np.maximum(degrees, 1.0).reshape(n, 1))
+    scaled = reps / deg
+    src, dst = edge_index
+    positive_logits = (gather(scaled, src) + gather(scaled, dst)) @ edge_weight
+    neg_src = rng.integers(n, size=num_edges)
+    neg_dst = rng.integers(n, size=num_edges)
+    negative_logits = (gather(scaled, neg_src)
+                       + gather(scaled, neg_dst)) @ edge_weight
+    logits = concatenate([positive_logits, negative_logits], axis=0)
+    targets = np.concatenate([np.ones(num_edges), np.zeros(num_edges)])
+    # Stable BCE with logits: softplus(x) − x·y.
+    return (logits.softplus() - logits * Tensor(targets)).mean()
+
+
+def semantic_info_nce(z_anchor: Tensor, z_view: Tensor, tau: float) -> Tensor:
+    """Semantic-aware loss ``L_s`` (Eq. 24), averaged over the batch.
+
+    ``L_s(G_i) = −log [ exp(s_ii/τ) / Σ_{j≠i} exp(s_ij/τ) ]`` where ``s_ij``
+    is the similarity between anchor ``G_i`` and view ``Ĝ_j``. The positive
+    pair is excluded from the denominator, exactly as written in Eq. 24 (and
+    as GraphCL's released code does).
+    """
+    n = len(z_anchor)
+    if n < 2:
+        raise ValueError("InfoNCE needs at least 2 graphs per batch")
+    sims = (l2_normalize(z_anchor) @ l2_normalize(z_view).T) * (1.0 / tau)
+    eye = np.eye(n, dtype=bool)
+    positives = sims[(np.arange(n), np.arange(n))]
+    # log Σ_{j≠i} exp(s_ij): mask the diagonal with -inf-ish shift.
+    masked = sims + Tensor(np.where(eye, -1e9, 0.0))
+    row_max = Tensor(masked.data.max(axis=1, keepdims=True))
+    log_denominator = ((masked - row_max).exp().sum(axis=1)).log() \
+        + row_max.reshape(n)
+    return (log_denominator - positives).mean()
+
+
+def complement_loss(z_anchor: Tensor, z_view: Tensor,
+                    z_complement: Tensor, tau: float) -> Tensor:
+    """Complement loss ``L_c`` (Eq. 25), averaged over the batch.
+
+    The non-semantic complement samples ``Ĝ^c`` act as extra negatives:
+    ``L_c(G_i) = −log [ exp(s_ii/τ) / (exp(s_ii/τ) + Σ_c exp(sim(G_i, Ĝ^c)/τ)) ]``.
+    """
+    n = len(z_anchor)
+    anchors = l2_normalize(z_anchor)
+    positives = ((anchors * l2_normalize(z_view)).sum(axis=1)) * (1.0 / tau)
+    negative_sims = (anchors @ l2_normalize(z_complement).T) * (1.0 / tau)
+    # log(exp(pos) + Σ exp(neg)) via a stable logsumexp over [pos | negs].
+    stacked = Tensor(np.concatenate(
+        [positives.data[:, None], negative_sims.data], axis=1))
+    row_max = stacked.data.max(axis=1, keepdims=True)
+    # Rebuild differentiably: exp(pos − m) + Σ exp(neg − m).
+    m = Tensor(row_max.reshape(n))
+    denominator = (positives - m).exp() \
+        + (negative_sims - Tensor(row_max)).exp().sum(axis=1)
+    log_denominator = denominator.log() + m
+    return (log_denominator - positives).mean()
+
+
+def weight_regularizer(module: Module) -> Tensor:
+    """``Θ_W = ‖W‖`` (Eq. 26): L2 norm over all trainable parameters."""
+    return module.weight_norm()

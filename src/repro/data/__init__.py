@@ -1,0 +1,48 @@
+"""Dataset substrate: containers, loaders, splits, synthetic generators."""
+
+from .dataset import GraphDataset, available_datasets, load_dataset, register_dataset
+from .loader import DataLoader
+from .splits import (
+    label_rate_split,
+    scaffold_split,
+    stratified_kfold,
+    train_test_split,
+)
+from .motifs import MOTIF_KINDS, motif_edges, motif_size
+from .tu import TU_SPECS, generate_tu_dataset
+from .molecules import (
+    FUNCTIONAL_GROUPS,
+    MOLECULENET_SPECS,
+    NUM_ATOM_TYPES,
+    generate_moleculenet_like,
+    generate_zinc_like,
+)
+from .io import load_saved_dataset, save_dataset
+from .superpixel import DIGIT_STROKES, digit_graph, generate_superpixel_dataset
+
+__all__ = [
+    "GraphDataset",
+    "load_dataset",
+    "register_dataset",
+    "available_datasets",
+    "DataLoader",
+    "train_test_split",
+    "stratified_kfold",
+    "scaffold_split",
+    "label_rate_split",
+    "MOTIF_KINDS",
+    "motif_edges",
+    "motif_size",
+    "TU_SPECS",
+    "generate_tu_dataset",
+    "MOLECULENET_SPECS",
+    "FUNCTIONAL_GROUPS",
+    "NUM_ATOM_TYPES",
+    "generate_zinc_like",
+    "generate_moleculenet_like",
+    "save_dataset",
+    "load_saved_dataset",
+    "DIGIT_STROKES",
+    "digit_graph",
+    "generate_superpixel_dataset",
+]

@@ -1,0 +1,87 @@
+"""Dataset serialisation: save/load a :class:`GraphDataset` to ``.npz``.
+
+The synthetic generators are deterministic, but saving materialised datasets
+is still useful for pinning the exact graphs of a committed experiment run,
+sharing them with collaborators, or loading external graphs prepared by
+other tooling. The format packs every graph's arrays into one compressed
+archive plus a small JSON header.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..graph import Graph
+from .dataset import GraphDataset
+
+__all__ = ["save_dataset", "load_saved_dataset"]
+
+_FORMAT_VERSION = 1
+# Metadata values that are numpy arrays are persisted; everything else must
+# be JSON-encodable.
+_META_ARRAY_PREFIX = "metaarr"
+
+
+def save_dataset(dataset: GraphDataset, path: str | Path) -> Path:
+    """Write ``dataset`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays: dict[str, np.ndarray] = {}
+    header: dict = {
+        "version": _FORMAT_VERSION,
+        "name": dataset.name,
+        "num_classes": dataset.num_classes,
+        "task": dataset.task,
+        "num_graphs": len(dataset),
+        "graphs": [],
+    }
+    for i, graph in enumerate(dataset):
+        arrays[f"x{i}"] = graph.x
+        arrays[f"e{i}"] = graph.edge_index
+        entry: dict = {"meta": {}, "meta_arrays": []}
+        if graph.y is None:
+            entry["y"] = None
+        elif np.isscalar(graph.y) or isinstance(graph.y, (int, float)):
+            entry["y"] = float(graph.y)
+        else:
+            arrays[f"y{i}"] = np.asarray(graph.y, dtype=float)
+            entry["y"] = "__array__"
+        for key, value in graph.meta.items():
+            if isinstance(value, np.ndarray):
+                arrays[f"{_META_ARRAY_PREFIX}_{i}_{key}"] = value
+                entry["meta_arrays"].append(key)
+            else:
+                entry["meta"][key] = value
+        header["graphs"].append(entry)
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_saved_dataset(path: str | Path) -> GraphDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        header = json.loads(bytes(archive["__header__"]).decode())
+        if header["version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {header['version']}")
+        graphs = []
+        for i, entry in enumerate(header["graphs"]):
+            if entry["y"] is None:
+                y = None
+            elif entry["y"] == "__array__":
+                y = archive[f"y{i}"]
+            else:
+                y = entry["y"]
+                y = int(y) if header["task"] == "classification" else y
+            meta = dict(entry["meta"])
+            for key in entry["meta_arrays"]:
+                meta[key] = archive[f"{_META_ARRAY_PREFIX}_{i}_{key}"]
+            graphs.append(Graph(archive[f"x{i}"], archive[f"e{i}"], y, meta))
+    return GraphDataset(header["name"], graphs, header["num_classes"],
+                        header["task"])

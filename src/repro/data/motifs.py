@@ -1,0 +1,95 @@
+"""Motif library used to plant class-discriminative semantic structure.
+
+Synthetic datasets plant one motif per class inside otherwise
+uninformative background graphs. The motif nodes are exactly the
+"semantic-related nodes" of the paper — the ground truth that the
+Lipschitz constant generator is supposed to discover — so every generator
+records them in ``Graph.meta["semantic_nodes"]``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["motif_edges", "MOTIF_KINDS", "SOCIAL_MOTIF_KINDS", "motif_size"]
+
+# Class id → motif shape, per dataset style. Molecule-style datasets use
+# low-degree motifs (cycles/paths — functional-group-like ring systems) whose
+# nodes carry high-magnitude attribute features; social-style datasets use
+# dense motifs (cliques/wheels — communities) whose nodes are hubs. In both
+# cases the motif nodes have high representation influence, which is what the
+# Lipschitz statistic K = D_R/D_T measures.
+MOTIF_KINDS: list[str] = ["cycle4", "cycle6", "path5", "cycle5", "path6",
+                          "cycle7", "path4"]
+SOCIAL_MOTIF_KINDS: list[str] = ["clique4", "clique6", "wheel6", "clique5",
+                                 "star7"]
+
+
+def motif_size(kind: str) -> int:
+    """Number of nodes the named motif occupies."""
+    return len(_builders()[kind](0)[0])
+
+
+def motif_edges(kind: str, offset: int = 0) -> tuple[list[int], list[tuple[int, int]]]:
+    """Return ``(node_ids, undirected_edge_list)`` for a motif.
+
+    Node ids start at ``offset``; edges are undirected pairs (callers add
+    both orientations).
+    """
+    builders = _builders()
+    if kind not in builders:
+        raise KeyError(f"unknown motif {kind!r}; available: {sorted(builders)}")
+    return builders[kind](offset)
+
+
+def _builders():
+    def clique(k):
+        def build(offset):
+            nodes = list(range(offset, offset + k))
+            edges = [(nodes[i], nodes[j]) for i in range(k) for j in range(i + 1, k)]
+            return nodes, edges
+        return build
+
+    def cycle(k):
+        def build(offset):
+            nodes = list(range(offset, offset + k))
+            edges = [(nodes[i], nodes[(i + 1) % k]) for i in range(k)]
+            return nodes, edges
+        return build
+
+    def star(k):
+        def build(offset):
+            nodes = list(range(offset, offset + k))
+            edges = [(nodes[0], nodes[i]) for i in range(1, k)]
+            return nodes, edges
+        return build
+
+    def path(k):
+        def build(offset):
+            nodes = list(range(offset, offset + k))
+            edges = [(nodes[i], nodes[i + 1]) for i in range(k - 1)]
+            return nodes, edges
+        return build
+
+    def wheel(k):
+        def build(offset):
+            nodes = list(range(offset, offset + k))
+            rim = nodes[1:]
+            edges = [(rim[i], rim[(i + 1) % len(rim)]) for i in range(len(rim))]
+            edges += [(nodes[0], r) for r in rim]
+            return nodes, edges
+        return build
+
+    return {
+        "clique4": clique(4),
+        "clique5": clique(5),
+        "cycle4": cycle(4),
+        "cycle5": cycle(5),
+        "cycle6": cycle(6),
+        "cycle7": cycle(7),
+        "clique6": clique(6),
+        "star5": star(5),
+        "star7": star(7),
+        "path4": path(4),
+        "path5": path(5),
+        "path6": path(6),
+        "wheel6": wheel(6),
+    }

@@ -1,0 +1,112 @@
+"""Dataset split utilities: stratified k-fold, scaffold split, label-rate split.
+
+These implement the three evaluation protocols of the paper:
+* unsupervised learning — 90/10 pretrain split + SVM 10-fold CV (§VI.B),
+* transfer learning — scaffold split of downstream molecule tasks (§VI.B),
+* semi-supervised learning — 1% / 10% label-rate fine-tuning (§VI.E).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import GraphDataset
+
+__all__ = [
+    "train_test_split",
+    "stratified_kfold",
+    "scaffold_split",
+    "label_rate_split",
+]
+
+
+def train_test_split(n: int, test_fraction: float,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Random index split; returns ``(train_idx, test_idx)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    return np.sort(order[n_test:]), np.sort(order[:n_test])
+
+
+def stratified_kfold(labels: np.ndarray, k: int,
+                     rng: np.random.Generator) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Stratified k-fold: each fold preserves class proportions.
+
+    Returns a list of ``(train_idx, test_idx)`` pairs. Used for the paper's
+    10-fold SVM cross-validation on TU datasets.
+    """
+    labels = np.asarray(labels)
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    folds: list[list[int]] = [[] for _ in range(k)]
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        rng.shuffle(members)
+        for i, index in enumerate(members):
+            folds[i % k].append(int(index))
+    result = []
+    for i in range(k):
+        test = np.sort(np.array(folds[i], dtype=np.int64))
+        train = np.sort(np.concatenate(
+            [np.array(folds[j], dtype=np.int64) for j in range(k) if j != i]))
+        result.append((train, test))
+    return result
+
+
+def scaffold_split(dataset: GraphDataset, fractions: tuple[float, float, float]
+                   = (0.8, 0.1, 0.1)) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic scaffold split (Hu et al. 2020 protocol).
+
+    Graphs are grouped by ``meta["scaffold"]``; groups are sorted by
+    descending size and greedily assigned to train, then valid, then test —
+    so test scaffolds are rare ones never seen in training (the
+    out-of-distribution setting transfer learning evaluates).
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("fractions must sum to 1")
+    groups: dict[object, list[int]] = {}
+    for index, graph in enumerate(dataset):
+        key = graph.meta.get("scaffold")
+        if key is None:
+            raise KeyError(f"graph {index} has no 'scaffold' metadata")
+        groups.setdefault(key, []).append(index)
+    # Big scaffolds first, ties broken by scaffold key for determinism.
+    ordered = sorted(groups.items(), key=lambda kv: (-len(kv[1]), str(kv[0])))
+    n = len(dataset)
+    train_cap = fractions[0] * n
+    valid_cap = (fractions[0] + fractions[1]) * n
+    train, valid, test = [], [], []
+    assigned = 0
+    for _, members in ordered:
+        if assigned + len(members) <= train_cap or not train:
+            train.extend(members)
+        elif assigned + len(members) <= valid_cap or not valid:
+            valid.extend(members)
+        else:
+            test.extend(members)
+        assigned += len(members)
+    if not test:  # tiny datasets: steal the last valid scaffold
+        test.append(valid.pop())
+    return (np.sort(np.array(train)), np.sort(np.array(valid)),
+            np.sort(np.array(test)))
+
+
+def label_rate_split(labels: np.ndarray, label_rate: float,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Indices of a stratified labelled subset of size ``label_rate · n``.
+
+    At least one example per class is always included (the 1 % setting on a
+    small dataset would otherwise lose classes entirely).
+    """
+    labels = np.asarray(labels)
+    if not 0.0 < label_rate <= 1.0:
+        raise ValueError("label_rate must be in (0, 1]")
+    picked: list[int] = []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        rng.shuffle(members)
+        count = max(1, int(round(label_rate * len(members))))
+        picked.extend(members[:count].tolist())
+    return np.sort(np.array(picked, dtype=np.int64))

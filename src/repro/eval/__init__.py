@@ -1,0 +1,27 @@
+"""Evaluation substrate: classifiers, metrics, downstream protocols."""
+
+from .svm import SVC, OneVsRestSVC, linear_kernel, rbf_kernel
+from .linear_model import LogisticRegression
+from .metrics import accuracy, mean_std, multitask_roc_auc, roc_auc
+from .protocol import (
+    cross_validated_accuracy,
+    embed_dataset,
+    finetune_classifier,
+    finetune_multitask,
+)
+
+__all__ = [
+    "SVC",
+    "OneVsRestSVC",
+    "rbf_kernel",
+    "linear_kernel",
+    "LogisticRegression",
+    "accuracy",
+    "roc_auc",
+    "multitask_roc_auc",
+    "mean_std",
+    "embed_dataset",
+    "cross_validated_accuracy",
+    "finetune_multitask",
+    "finetune_classifier",
+]

@@ -1,0 +1,78 @@
+"""Multinomial logistic regression via L-BFGS (fast CPU classifier option).
+
+Wide benchmark sweeps evaluate hundreds of embedding tables; the SMO SVM is
+protocol-faithful but slow, so the harness can switch to this classifier
+(``classifier="logreg"``) — standard practice in GCL evaluation code
+(e.g. InfoGraph's released evaluation uses LogisticRegression too).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression:
+    """Softmax regression with L2 penalty, optimised by L-BFGS.
+
+    Parameters
+    ----------
+    C:
+        Inverse regularisation strength (scikit-learn convention).
+    max_iter:
+        L-BFGS iteration budget.
+    """
+
+    def __init__(self, C: float = 1.0, max_iter: int = 200):
+        self.C = C
+        self.max_iter = max_iter
+        self._weights: np.ndarray | None = None
+        self._classes: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        self._classes = np.unique(y)
+        n_classes = len(self._classes)
+        index = np.searchsorted(self._classes, y)
+        n, d = x.shape
+        x_bias = np.concatenate([x, np.ones((n, 1))], axis=1)
+
+        if n_classes == 1:
+            self._weights = np.zeros((d + 1, 1))
+            return self
+
+        def objective(flat: np.ndarray):
+            weights = flat.reshape(d + 1, n_classes)
+            logits = x_bias @ weights
+            logits -= logits.max(axis=1, keepdims=True)
+            exp = np.exp(logits)
+            probs = exp / exp.sum(axis=1, keepdims=True)
+            log_likelihood = np.log(probs[np.arange(n), index] + 1e-12).sum()
+            penalty = 0.5 / self.C * (weights[:-1] ** 2).sum()
+            loss = -log_likelihood / n + penalty
+            grad_logits = probs.copy()
+            grad_logits[np.arange(n), index] -= 1.0
+            grad = x_bias.T @ grad_logits / n
+            grad[:-1] += weights[:-1] / self.C
+            return loss, grad.ravel()
+
+        result = optimize.minimize(
+            objective, np.zeros((d + 1) * n_classes), jac=True,
+            method="L-BFGS-B", options={"maxiter": self.max_iter})
+        self._weights = result.x.reshape(d + 1, n_classes)
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("LogisticRegression is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        x_bias = np.concatenate([x, np.ones((len(x), 1))], axis=1)
+        return x_bias @ self._weights
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if len(self._classes) == 1:
+            return np.full(len(x), self._classes[0])
+        return self._classes[np.argmax(self.decision_function(x), axis=1)]

@@ -1,0 +1,70 @@
+"""Evaluation metrics: accuracy, ROC-AUC, masked multi-task ROC-AUC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "roc_auc", "multitask_roc_auc", "mean_std"]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between labels and predictions")
+    return float((y_true == y_pred).mean())
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Binary ROC-AUC via the rank statistic (ties share rank).
+
+    ``AUC = (Σ ranks of positives − n⁺(n⁺+1)/2) / (n⁺ n⁻)``. Returns NaN if
+    only one class is present (the caller averages over valid tasks).
+    """
+    y_true = np.asarray(y_true).astype(np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    positives = int(y_true.sum())
+    negatives = len(y_true) - positives
+    if positives == 0 or negatives == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    positive_rank_sum = ranks[y_true == 1].sum()
+    return float((positive_rank_sum - positives * (positives + 1) / 2.0)
+                 / (positives * negatives))
+
+
+def multitask_roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Mean ROC-AUC over tasks, skipping missing (NaN) labels per task.
+
+    The MoleculeNet evaluation convention: each column is a binary task;
+    NaN entries are excluded; single-class tasks are skipped.
+    """
+    y_true = np.atleast_2d(np.asarray(y_true, dtype=np.float64))
+    scores = np.atleast_2d(np.asarray(scores, dtype=np.float64))
+    if y_true.shape != scores.shape:
+        raise ValueError("shape mismatch between labels and scores")
+    aucs = []
+    for task in range(y_true.shape[1]):
+        valid = ~np.isnan(y_true[:, task])
+        if valid.sum() < 2:
+            continue
+        value = roc_auc(y_true[valid, task], scores[valid, task])
+        if not np.isnan(value):
+            aucs.append(value)
+    if not aucs:
+        return float("nan")
+    return float(np.mean(aucs))
+
+
+def mean_std(values) -> tuple[float, float]:
+    """Mean and (population) std of a sequence — the paper's `x ± y` cells."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    return float(arr.mean()), float(arr.std())

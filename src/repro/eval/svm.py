@@ -1,0 +1,166 @@
+"""Support vector machines (C-SVC via SMO) — the paper's downstream classifier.
+
+The unsupervised protocol of GraphCL/SGCL feeds frozen graph embeddings to a
+non-linear SVM with 10-fold cross-validation. scikit-learn is unavailable
+here, so this module implements a binary C-SVC with the (simplified) SMO
+algorithm of Platt (1998), RBF and linear kernels, and a one-vs-rest
+multiclass wrapper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SVC", "OneVsRestSVC", "rbf_kernel", "linear_kernel"]
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    return a @ b.T
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    """``exp(-γ ‖a_i − b_j‖²)`` pairwise."""
+    sq_a = (a ** 2).sum(axis=1)[:, None]
+    sq_b = (b ** 2).sum(axis=1)[None, :]
+    d2 = np.maximum(sq_a + sq_b - 2.0 * (a @ b.T), 0.0)
+    return np.exp(-gamma * d2)
+
+
+_KERNELS = {"linear": linear_kernel, "rbf": rbf_kernel}
+
+
+class SVC:
+    """Binary C-SVC trained with simplified SMO.
+
+    Parameters
+    ----------
+    C:
+        Soft-margin penalty.
+    kernel:
+        ``"rbf"`` (default, the paper's non-linear SVM) or ``"linear"``.
+    gamma:
+        RBF width; ``"scale"`` uses ``1 / (d · var(X))`` à la scikit-learn.
+    max_passes:
+        SMO stops after this many consecutive passes without α updates.
+    """
+
+    def __init__(self, C: float = 1.0, kernel: str = "rbf",
+                 gamma: float | str = "scale", tol: float = 1e-3,
+                 max_passes: int = 3, max_iter: int = 200, seed: int = 0):
+        if kernel not in _KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.tol = tol
+        self.max_passes = max_passes
+        self.max_iter = max_iter
+        self.seed = seed
+        self._alpha: np.ndarray | None = None
+        self._b = 0.0
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._gamma_value = 1.0
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SVC":
+        """Fit on features ``x`` and ±1 (or 0/1) labels ``y``."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        y = np.where(y <= 0, -1.0, 1.0)
+        n = len(x)
+        if self.gamma == "scale":
+            variance = x.var()
+            self._gamma_value = 1.0 / (x.shape[1] * variance) if variance > 0 else 1.0
+        else:
+            self._gamma_value = float(self.gamma)
+        kernel_matrix = _KERNELS[self.kernel](x, x, self._gamma_value)
+        alpha = np.zeros(n)
+        b = 0.0
+        rng = np.random.default_rng(self.seed)
+        passes = 0
+        iteration = 0
+        while passes < self.max_passes and iteration < self.max_iter:
+            iteration += 1
+            changed = 0
+            for i in range(n):
+                e_i = float((alpha * y) @ kernel_matrix[:, i] + b - y[i])
+                violates = ((y[i] * e_i < -self.tol and alpha[i] < self.C)
+                            or (y[i] * e_i > self.tol and alpha[i] > 0))
+                if not violates:
+                    continue
+                j = int(rng.integers(n - 1))
+                if j >= i:
+                    j += 1
+                e_j = float((alpha * y) @ kernel_matrix[:, j] + b - y[j])
+                alpha_i_old, alpha_j_old = alpha[i], alpha[j]
+                if y[i] != y[j]:
+                    low = max(0.0, alpha[j] - alpha[i])
+                    high = min(self.C, self.C + alpha[j] - alpha[i])
+                else:
+                    low = max(0.0, alpha[i] + alpha[j] - self.C)
+                    high = min(self.C, alpha[i] + alpha[j])
+                if low == high:
+                    continue
+                eta = 2.0 * kernel_matrix[i, j] - kernel_matrix[i, i] \
+                    - kernel_matrix[j, j]
+                if eta >= 0:
+                    continue
+                alpha[j] -= y[j] * (e_i - e_j) / eta
+                alpha[j] = np.clip(alpha[j], low, high)
+                if abs(alpha[j] - alpha_j_old) < 1e-7:
+                    continue
+                alpha[i] += y[i] * y[j] * (alpha_j_old - alpha[j])
+                b1 = (b - e_i - y[i] * (alpha[i] - alpha_i_old) * kernel_matrix[i, i]
+                      - y[j] * (alpha[j] - alpha_j_old) * kernel_matrix[i, j])
+                b2 = (b - e_j - y[i] * (alpha[i] - alpha_i_old) * kernel_matrix[i, j]
+                      - y[j] * (alpha[j] - alpha_j_old) * kernel_matrix[j, j])
+                if 0 < alpha[i] < self.C:
+                    b = b1
+                elif 0 < alpha[j] < self.C:
+                    b = b2
+                else:
+                    b = (b1 + b2) / 2.0
+                changed += 1
+            passes = passes + 1 if changed == 0 else 0
+        self._alpha, self._b = alpha, b
+        self._x, self._y = x, y
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self._alpha is None:
+            raise RuntimeError("SVC is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        kernel_matrix = _KERNELS[self.kernel](x, self._x, self._gamma_value)
+        return kernel_matrix @ (self._alpha * self._y) + self._b
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.decision_function(x) >= 0).astype(np.int64)
+
+
+class OneVsRestSVC:
+    """Multiclass SVM by one binary C-SVC per class (max decision value wins)."""
+
+    def __init__(self, **svc_kwargs):
+        self.svc_kwargs = svc_kwargs
+        self._classes: np.ndarray | None = None
+        self._models: list[SVC] = []
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "OneVsRestSVC":
+        y = np.asarray(y)
+        self._classes = np.unique(y)
+        self._models = []
+        for cls in self._classes:
+            model = SVC(**self.svc_kwargs)
+            model.fit(x, (y == cls).astype(np.float64))
+            self._models.append(model)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._classes is None:
+            raise RuntimeError("OneVsRestSVC is not fitted")
+        if len(self._classes) == 1:
+            return np.full(len(x), self._classes[0])
+        scores = np.column_stack([m.decision_function(x) for m in self._models])
+        return self._classes[np.argmax(scores, axis=1)]

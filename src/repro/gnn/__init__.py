@@ -1,0 +1,26 @@
+"""GNN substrate: convolution layers, pooling, encoders."""
+
+from .conv import CONV_TYPES, GATConv, GCNConv, GINConv, SAGEConv
+from .pooling import (
+    POOLING_TYPES,
+    global_max_pool,
+    global_mean_pool,
+    global_sum_pool,
+    weighted_sum_pool,
+)
+from .encoder import GNNEncoder, ProjectionHead
+
+__all__ = [
+    "GINConv",
+    "GCNConv",
+    "SAGEConv",
+    "GATConv",
+    "CONV_TYPES",
+    "global_sum_pool",
+    "global_mean_pool",
+    "global_max_pool",
+    "weighted_sum_pool",
+    "POOLING_TYPES",
+    "GNNEncoder",
+    "ProjectionHead",
+]

@@ -1,0 +1,149 @@
+"""Graph convolution layers: GIN, GCN, GraphSAGE, GAT.
+
+All layers share the signature ``forward(x, edge_index, num_nodes,
+node_weight=None)`` where ``x`` is the ``(N, d)`` node-feature Tensor and
+``edge_index`` the ``(2, E)`` int ndarray of a (possibly batched) graph.
+
+``node_weight`` implements the paper's perturbation-mask mechanism (Eq. 14):
+a per-node multiplier applied to both a node's own contribution and to the
+messages it sends. With a binary mask this *is* node dropping inside the
+encoder; with soft values it is the differentiable relaxation used to train
+the augmentation-probability head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, MLP, Module, Parameter
+from ..tensor import Tensor, gather, segment_mean, segment_softmax, segment_sum
+from ..graph.transforms import add_self_loops, normalized_adjacency_weights
+
+__all__ = ["GINConv", "GCNConv", "SAGEConv", "GATConv", "CONV_TYPES"]
+
+
+def _apply_node_weight(x: Tensor, node_weight: Tensor | None) -> Tensor:
+    if node_weight is None:
+        return x
+    return x * node_weight.reshape(len(node_weight), 1)
+
+
+class GINConv(Module):
+    """Graph Isomorphism Network layer (Xu et al., 2019).
+
+    ``h'_i = MLP((1 + ε) h_i + Σ_{j∈N(i)} h_j)`` with a learnable ε and a
+    2-layer MLP with BatchNorm — the encoder SGCL and all GCL baselines use.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, *, rng: np.random.Generator,
+                 batch_norm: bool = True):
+        super().__init__()
+        self.eps = Parameter(np.zeros(1))
+        self.mlp = MLP([in_dim, out_dim, out_dim], rng=rng,
+                       batch_norm=batch_norm)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                node_weight: Tensor | None = None) -> Tensor:
+        x = _apply_node_weight(x, node_weight)
+        src, dst = edge_index
+        messages = gather(x, src)
+        aggregated = segment_sum(messages, dst, num_nodes)
+        combined = x * (1.0 + self.eps) + aggregated
+        out = self.mlp(combined)
+        return _apply_node_weight(out, node_weight)
+
+
+class GCNConv(Module):
+    """Graph Convolutional Network layer (Kipf & Welling, 2017).
+
+    Symmetric-normalised aggregation with self-loops: ``H' = D̂^{-1/2} Â
+    D̂^{-1/2} H W``.
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, rng=rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                node_weight: Tensor | None = None) -> Tensor:
+        x = _apply_node_weight(x, node_weight)
+        looped = add_self_loops(edge_index, num_nodes)
+        norm = normalized_adjacency_weights(looped, num_nodes)
+        src, dst = looped
+        transformed = self.linear(x)
+        messages = gather(transformed, src) * Tensor(norm[:, None])
+        out = segment_sum(messages, dst, num_nodes)
+        return _apply_node_weight(out.relu(), node_weight)
+
+
+class SAGEConv(Module):
+    """GraphSAGE layer with mean aggregation (Hamilton et al., 2017)."""
+
+    def __init__(self, in_dim: int, out_dim: int, *, rng: np.random.Generator):
+        super().__init__()
+        self.self_linear = Linear(in_dim, out_dim, rng=rng)
+        self.neigh_linear = Linear(in_dim, out_dim, rng=rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                node_weight: Tensor | None = None) -> Tensor:
+        x = _apply_node_weight(x, node_weight)
+        src, dst = edge_index
+        neighbours = segment_mean(gather(x, src), dst, num_nodes)
+        out = self.self_linear(x) + self.neigh_linear(neighbours)
+        return _apply_node_weight(out.relu(), node_weight)
+
+
+class GATConv(Module):
+    """Graph attention layer (Veličković et al., 2018), ``heads`` averaged.
+
+    Attention logits ``e_ij = LeakyReLU(a_s·Wh_i + a_d·Wh_j)`` are
+    softmax-normalised over each destination's incoming edges (self-loops
+    added). The per-edge attention of the *last* forward pass is cached in
+    ``last_attention`` — the Lipschitz constant generator's fast mode uses it
+    to approximate each node's contribution (paper §IV.B / §V complexity).
+    """
+
+    def __init__(self, in_dim: int, out_dim: int, *, rng: np.random.Generator,
+                 heads: int = 1, negative_slope: float = 0.2):
+        super().__init__()
+        self.heads = heads
+        self.negative_slope = negative_slope
+        self.linears = [Linear(in_dim, out_dim, rng=rng, bias=False)
+                        for _ in range(heads)]
+        self.att_src = [Parameter(rng.normal(0, 0.1, size=out_dim))
+                        for _ in range(heads)]
+        self.att_dst = [Parameter(rng.normal(0, 0.1, size=out_dim))
+                        for _ in range(heads)]
+        self.last_attention: np.ndarray | None = None
+        self.last_edge_index: np.ndarray | None = None
+
+    def forward(self, x: Tensor, edge_index: np.ndarray, num_nodes: int,
+                node_weight: Tensor | None = None) -> Tensor:
+        x = _apply_node_weight(x, node_weight)
+        looped = add_self_loops(edge_index, num_nodes)
+        src, dst = looped
+        head_outputs = []
+        attention_sum = np.zeros(looped.shape[1])
+        for linear, a_src, a_dst in zip(self.linears, self.att_src, self.att_dst):
+            h = linear(x)
+            logits = (gather(h, src) @ a_src) + (gather(h, dst) @ a_dst)
+            logits = logits.leaky_relu(self.negative_slope)
+            alpha = segment_softmax(logits, dst, num_nodes)
+            attention_sum += alpha.data
+            messages = gather(h, src) * alpha.reshape(len(src), 1)
+            head_outputs.append(segment_sum(messages, dst, num_nodes))
+        out = head_outputs[0]
+        for extra in head_outputs[1:]:
+            out = out + extra
+        out = out * (1.0 / self.heads)
+        self.last_attention = attention_sum / self.heads
+        self.last_edge_index = looped
+        return _apply_node_weight(out.relu(), node_weight)
+
+
+CONV_TYPES = {
+    "gin": GINConv,
+    "gcn": GCNConv,
+    "sage": SAGEConv,
+    "gat": GATConv,
+}

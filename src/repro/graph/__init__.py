@@ -1,0 +1,21 @@
+"""Graph data substrate: containers, batching, transforms."""
+
+from .graph import Graph
+from .batch import Batch
+from .transforms import (
+    add_self_loops,
+    constant_features,
+    degree_features,
+    normalized_adjacency_weights,
+    one_hot,
+)
+
+__all__ = [
+    "Graph",
+    "Batch",
+    "add_self_loops",
+    "one_hot",
+    "degree_features",
+    "constant_features",
+    "normalized_adjacency_weights",
+]

@@ -1,0 +1,69 @@
+"""Disjoint-union batching of graphs (PyG ``Batch`` analogue).
+
+A batch stacks node features of all member graphs, offsets their edge
+indices, and keeps a ``node_graph`` vector mapping every node to its graph
+id — the index used by segment-based pooling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["Batch"]
+
+
+class Batch:
+    """A batch of graphs as one big disconnected graph."""
+
+    __slots__ = ("x", "edge_index", "node_graph", "num_graphs", "node_offsets",
+                 "graphs", "ys")
+
+    def __init__(self, graphs: Sequence[Graph]):
+        if not graphs:
+            raise ValueError("cannot batch zero graphs")
+        self.graphs = list(graphs)
+        self.num_graphs = len(graphs)
+        sizes = np.array([g.num_nodes for g in graphs], dtype=np.int64)
+        self.node_offsets = np.concatenate([[0], np.cumsum(sizes)])
+        self.x = np.concatenate([g.x for g in graphs], axis=0)
+        shifted = [g.edge_index + offset
+                   for g, offset in zip(graphs, self.node_offsets[:-1])]
+        self.edge_index = np.concatenate(shifted, axis=1) if shifted else \
+            np.zeros((2, 0), dtype=np.int64)
+        self.node_graph = np.repeat(np.arange(self.num_graphs), sizes)
+        self.ys = [g.y for g in graphs]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_index.shape[1]
+
+    def __len__(self) -> int:
+        return self.num_graphs
+
+    def __repr__(self) -> str:
+        return (f"Batch(num_graphs={self.num_graphs}, "
+                f"num_nodes={self.num_nodes}, num_edges={self.num_edges})")
+
+    # ------------------------------------------------------------------
+    def labels(self) -> np.ndarray:
+        """Stack graph labels into an array (int or float matrix)."""
+        return np.asarray(self.ys)
+
+    def nodes_of(self, graph_id: int) -> np.ndarray:
+        """Global node indices belonging to graph ``graph_id``."""
+        return np.arange(self.node_offsets[graph_id],
+                         self.node_offsets[graph_id + 1])
+
+    def unbatch_node_values(self, values: np.ndarray) -> list[np.ndarray]:
+        """Split a per-node array back into per-graph chunks."""
+        return [values[self.node_offsets[i]:self.node_offsets[i + 1]]
+                for i in range(self.num_graphs)]

@@ -1,0 +1,58 @@
+"""Graph feature transforms (degree features, one-hot labels, self-loops)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "add_self_loops",
+    "one_hot",
+    "degree_features",
+    "constant_features",
+    "normalized_adjacency_weights",
+]
+
+
+def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Append ``i → i`` for every node (GCN-style)."""
+    loops = np.tile(np.arange(num_nodes, dtype=np.int64), (2, 1))
+    return np.concatenate([edge_index, loops], axis=1)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.size, num_classes))
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+def degree_features(graph: Graph, max_degree: int = 64) -> Graph:
+    """Replace features with one-hot (clipped) node degree.
+
+    The convention GraphCL and successors use for the attribute-free social
+    TU datasets (COLLAB, RDT-B, RDT-M-5K, IMDB-B).
+    """
+    degree = np.minimum(graph.degrees().astype(np.int64), max_degree - 1)
+    return Graph(one_hot(degree, max_degree), graph.edge_index, graph.y,
+                 dict(graph.meta))
+
+
+def constant_features(graph: Graph, dim: int = 1) -> Graph:
+    """Replace features with all-ones (featureless baselines)."""
+    return Graph(np.ones((graph.num_nodes, dim)), graph.edge_index, graph.y,
+                 dict(graph.meta))
+
+
+def normalized_adjacency_weights(edge_index: np.ndarray,
+                                 num_nodes: int) -> np.ndarray:
+    """Per-edge symmetric normalisation ``1/sqrt(d_src · d_dst)`` (GCN).
+
+    ``edge_index`` must already contain self-loops if GCN semantics are
+    desired; degrees are computed from the given edges.
+    """
+    degree = np.bincount(edge_index[0], minlength=num_nodes).astype(np.float64)
+    degree = np.maximum(degree, 1.0)
+    inv_sqrt = 1.0 / np.sqrt(degree)
+    return inv_sqrt[edge_index[0]] * inv_sqrt[edge_index[1]]

@@ -1,0 +1,57 @@
+"""Loss functions and miscellaneous functional ops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, as_tensor
+
+__all__ = [
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "l2_normalize",
+    "cosine_similarity_matrix",
+]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy of integer ``targets`` under row-wise ``logits``."""
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = logits.log_softmax(axis=-1)
+    rows = np.arange(len(targets))
+    picked = log_probs[(rows, targets)]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets,
+                                     mask: np.ndarray | None = None) -> Tensor:
+    """Stable sigmoid BCE, optionally masked (for multi-task labels with
+    missing entries, as in MoleculeNet-style datasets).
+
+    ``loss = softplus(x) - x*y`` elementwise; masked mean over valid entries.
+    """
+    targets = as_tensor(targets)
+    elementwise = logits.softplus() - logits * targets
+    if mask is None:
+        return elementwise.mean()
+    mask = np.asarray(mask, dtype=np.float64)
+    valid = max(mask.sum(), 1.0)
+    return (elementwise * Tensor(mask)).sum() * (1.0 / valid)
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    target = as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Project rows onto the unit sphere (used before InfoNCE similarities)."""
+    norms = ((x * x).sum(axis=axis, keepdims=True) + eps).sqrt()
+    return x / norms
+
+
+def cosine_similarity_matrix(a: Tensor, b: Tensor) -> Tensor:
+    """Pairwise cosine similarity between rows of ``a`` and rows of ``b``."""
+    return l2_normalize(a) @ l2_normalize(b).T

@@ -1,0 +1,124 @@
+"""Gather / scatter / segment reductions — the message-passing kernels.
+
+PyTorch Geometric implements GNN message passing with ``torch.index_select``
+and ``scatter_*``; these functions are the numpy/autodiff equivalents. All of
+them are differentiable with respect to the value tensor (never with respect
+to the integer index arrays).
+
+Conventions
+-----------
+* ``index`` arrays are 1-D ``int64`` ndarrays.
+* ``num_segments`` must be passed explicitly (it may exceed ``index.max()+1``
+  when a batch contains empty graphs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "gather",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "segment_count",
+]
+
+
+def _check_index(index: np.ndarray) -> np.ndarray:
+    index = np.asarray(index)
+    if index.ndim != 1:
+        raise ValueError(f"index must be 1-D, got shape {index.shape}")
+    return index.astype(np.int64, copy=False)
+
+
+def gather(values: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows ``values[index]``; gradient scatter-adds back."""
+    values = as_tensor(values)
+    index = _check_index(index)
+
+    def backward(out: Tensor) -> None:
+        grad = np.zeros_like(values.data, dtype=np.float64)
+        np.add.at(grad, index, out.grad)
+        values._accumulate(grad)
+
+    return Tensor._make(values.data[index], (values,), backward)
+
+
+def segment_sum(values: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` into ``num_segments`` buckets given by ``index``.
+
+    ``out[s] = sum_{i : index[i] == s} values[i]`` — the core aggregation of
+    every GNN layer (messages → destination nodes) and of graph pooling
+    (nodes → graphs).
+    """
+    values = as_tensor(values)
+    index = _check_index(index)
+    out_shape = (num_segments,) + values.shape[1:]
+    data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(data, index, values.data)
+
+    def backward(out: Tensor) -> None:
+        values._accumulate(out.grad[index])
+
+    return Tensor._make(data, (values,), backward)
+
+
+def segment_count(index: np.ndarray, num_segments: int) -> np.ndarray:
+    """Number of rows routed to each segment (plain ndarray)."""
+    index = _check_index(index)
+    return np.bincount(index, minlength=num_segments).astype(np.float64)
+
+
+def segment_mean(values: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+    """Mean-aggregate rows per segment; empty segments yield zeros."""
+    totals = segment_sum(values, index, num_segments)
+    counts = np.maximum(segment_count(index, num_segments), 1.0)
+    return totals * Tensor(1.0 / counts).reshape(
+        (num_segments,) + (1,) * (totals.ndim - 1))
+
+
+def segment_max(values: Tensor, index: np.ndarray, num_segments: int,
+                fill: float = 0.0) -> Tensor:
+    """Max-aggregate rows per segment.
+
+    Empty segments are filled with ``fill``. Gradient flows to the (first)
+    argmax element per segment/feature, matching scatter-max semantics.
+    """
+    values = as_tensor(values)
+    index = _check_index(index)
+    out_shape = (num_segments,) + values.shape[1:]
+    data = np.full(out_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(data, index, values.data)
+    empty = ~np.isfinite(data)
+    data = np.where(empty, fill, data)
+
+    def backward(out: Tensor) -> None:
+        # Route gradient to entries equal to their segment max; split ties.
+        winners = (values.data == data[index]) & ~empty[index]
+        tie_counts = np.zeros(out_shape, dtype=np.float64)
+        np.add.at(tie_counts, index, winners.astype(np.float64))
+        tie_counts = np.maximum(tie_counts, 1.0)
+        grad = np.where(winners, out.grad[index] / tie_counts[index], 0.0)
+        values._accumulate(grad)
+
+    return Tensor._make(data, (values,), backward)
+
+
+def segment_softmax(values: Tensor, index: np.ndarray,
+                    num_segments: int) -> Tensor:
+    """Softmax over groups of rows sharing the same segment (GAT attention).
+
+    Implemented as a composition of differentiable primitives, so it needs no
+    bespoke vjp: ``softmax_i = exp(v_i - max_seg) / sum_seg exp(...)``.
+    """
+    values = as_tensor(values)
+    index = _check_index(index)
+    seg_max = segment_max(values, index, num_segments, fill=0.0)
+    shifted = values - gather(seg_max, index)
+    exps = shifted.exp()
+    denom = gather(segment_sum(exps, index, num_segments), index)
+    return exps / (denom + 1e-16)

@@ -1,0 +1,38 @@
+"""Helper utilities shared across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import Graph
+
+
+def make_triangle(rng: np.random.Generator, features: int = 4,
+                  y: int = 0) -> Graph:
+    """A 3-cycle with random features (both edge orientations)."""
+    edge_index = np.array([[0, 1, 1, 2, 2, 0], [1, 0, 2, 1, 0, 2]])
+    return Graph(rng.normal(size=(3, features)), edge_index, y=y)
+
+
+def make_path(rng: np.random.Generator, n: int = 4, features: int = 4,
+              y: int = 1) -> Graph:
+    """A path graph on ``n`` nodes."""
+    pairs = np.array([(i, i + 1) for i in range(n - 1)])
+    edge_index = np.concatenate([pairs, pairs[:, ::-1]], axis=0).T
+    return Graph(rng.normal(size=(n, features)), edge_index, y=y)
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(x)
+        flat[i] = original - eps
+        lower = fn(x)
+        flat[i] = original
+        out[i] = (upper - lower) / (2 * eps)
+    return grad

@@ -1,0 +1,102 @@
+"""Graph kernels: hand-computed checks and separation properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    dgk_features,
+    graphlet_features,
+    kernel_feature_map,
+    wl_features,
+)
+from repro.graph import Graph
+
+from _helpers import make_path, make_triangle
+
+
+def _labelled(edges, labels, n):
+    arr = np.array(edges)
+    edge_index = np.concatenate([arr, arr[:, ::-1]], axis=0).T
+    x = np.zeros((n, int(max(labels)) + 1))
+    x[np.arange(n), labels] = 1.0
+    return Graph(x, edge_index)
+
+
+def test_graphlet_triangle_vs_path(rng):
+    triangle = make_triangle(rng)
+    path = make_path(rng, n=3)
+    features = graphlet_features([triangle, path])
+    # Triangle: 1 triangle, 0 open wedges. Path: 1 open wedge, 0 triangles.
+    assert features[0, 1] == pytest.approx(1.0)  # triangle fraction
+    assert features[0, 0] == pytest.approx(0.0)
+    assert features[1, 0] == pytest.approx(1.0)  # wedge fraction
+    assert features[1, 1] == pytest.approx(0.0)
+
+
+def test_graphlet_features_finite_on_edgeless(rng):
+    g = Graph(rng.normal(size=(3, 2)), np.zeros((2, 0)))
+    features = graphlet_features([g])
+    assert np.isfinite(features).all()
+
+
+def test_wl_identical_graphs_identical_features(rng):
+    g = make_path(rng, n=5)
+    h = make_path(rng, n=5)
+    h.x = g.x.copy()
+    features = wl_features([g, h])
+    assert np.allclose(features[0], features[1])
+
+
+def test_wl_distinguishes_nonisomorphic():
+    # Star vs path on 4 nodes: different refined-label multisets.
+    star = _labelled([(0, 1), (0, 2), (0, 3)], [0] * 4, 4)
+    path = _labelled([(0, 1), (1, 2), (2, 3)], [0] * 4, 4)
+    features = wl_features([star, path], iterations=2)
+    assert not np.allclose(features[0], features[1])
+
+
+def test_wl_limitation_c6_vs_two_triangles():
+    """1-WL famously cannot distinguish C6 from two disjoint C3s — document
+    the known expressiveness ceiling of the subtree kernel."""
+    c6 = _labelled([(i, (i + 1) % 6) for i in range(6)], [0] * 6, 6)
+    two_c3 = _labelled([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+                       [0] * 6, 6)
+    features = wl_features([c6, two_c3], iterations=3)
+    assert np.allclose(features[0], features[1])
+
+
+def test_wl_respects_initial_labels():
+    a = _labelled([(0, 1)], [0, 0], 2)
+    b = _labelled([(0, 1)], [0, 1], 2)
+    features = wl_features([a, b], iterations=1)
+    assert not np.allclose(features[0], features[1])
+
+
+def test_wl_rows_unit_norm(rng):
+    features = wl_features([make_path(rng, n=4), make_triangle(rng)])
+    assert np.allclose(np.linalg.norm(features, axis=1), 1.0)
+
+
+def test_dgk_shapes_and_similarity_structure(rng):
+    graphs = [make_path(rng, n=5) for _ in range(3)] + \
+        [make_triangle(rng) for _ in range(3)]
+    for g in graphs:
+        g.x = np.ones((g.num_nodes, 1))
+    features = dgk_features(graphs, embedding_dim=8)
+    assert features.shape[0] == 6
+    sims = features @ features.T
+    # Same-shape graphs must be more similar than cross-shape pairs.
+    within = (sims[0, 1] + sims[3, 4]) / 2
+    across = sims[0, 3]
+    assert within > across
+
+
+def test_kernel_feature_map_registry(rng):
+    graphs = [make_triangle(rng)]
+    for name in ("GL", "WL", "DGK"):
+        features = kernel_feature_map(name, graphs)
+        assert features.shape[0] == 1
+    with pytest.raises(KeyError):
+        kernel_feature_map("RBF", graphs)

@@ -1,0 +1,30 @@
+"""Shared test fixtures; puts tests/ on sys.path so `_helpers` imports work."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _helpers import make_path, make_triangle  # noqa: E402
+
+from repro.graph import Graph  # noqa: E402
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle(rng) -> Graph:
+    return make_triangle(rng)
+
+
+@pytest.fixture
+def path4(rng) -> Graph:
+    return make_path(rng)

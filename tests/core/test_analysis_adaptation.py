@@ -1,0 +1,112 @@
+"""Analysis diagnostics and generator domain adaptation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SGCLConfig, SGCLModel, adapt_generator
+from repro.core.analysis import (
+    alignment,
+    alignment_uniformity,
+    semantic_identification_auc,
+    uniformity,
+    view_label_consistency,
+)
+from repro.data import load_dataset
+from repro.gnn import GNNEncoder
+from repro.graph import Batch
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("MUTAG", seed=0, scale=0.15)
+
+
+def test_semantic_identification_auc_perfect_scores(dataset):
+    auc = semantic_identification_auc(
+        lambda g: g.meta["semantic_nodes"].astype(float), dataset.graphs,
+        max_graphs=10)
+    assert auc == 1.0
+
+
+def test_semantic_identification_auc_inverted_scores(dataset):
+    auc = semantic_identification_auc(
+        lambda g: -g.meta["semantic_nodes"].astype(float), dataset.graphs,
+        max_graphs=10)
+    assert auc == 0.0
+
+
+def test_semantic_identification_validates_shape(dataset):
+    with pytest.raises(ValueError):
+        semantic_identification_auc(lambda g: np.zeros(2), dataset.graphs,
+                                    max_graphs=1)
+
+
+def test_alignment_zero_for_identical(rng):
+    z = rng.normal(size=(8, 4))
+    assert alignment(z, z) == pytest.approx(0.0)
+
+
+def test_alignment_positive_for_perturbed(rng):
+    z = rng.normal(size=(8, 4))
+    assert alignment(z, z + rng.normal(0, 0.5, size=(8, 4))) > 0
+
+
+def test_alignment_shape_mismatch(rng):
+    with pytest.raises(ValueError):
+        alignment(rng.normal(size=(4, 4)), rng.normal(size=(5, 4)))
+
+
+def test_uniformity_prefers_spread(rng):
+    collapsed = np.ones((16, 4)) + rng.normal(0, 0.01, size=(16, 4))
+    spread = rng.normal(size=(16, 4))
+    assert uniformity(spread) < uniformity(collapsed)
+
+
+def test_uniformity_needs_two_points(rng):
+    with pytest.raises(ValueError):
+        uniformity(rng.normal(size=(1, 4)))
+
+
+def test_alignment_uniformity_keys(rng):
+    z = rng.normal(size=(6, 4))
+    report = alignment_uniformity(z, z)
+    assert set(report) == {"alignment", "uniformity"}
+
+
+def test_view_label_consistency_identity_views(dataset, rng):
+    encoder = GNNEncoder(dataset.num_features, 16, 2, rng=rng)
+    graphs = dataset.graphs[:20]
+    labels = np.array([g.y for g in graphs])
+    score = view_label_consistency(encoder, graphs, graphs, labels)
+    assert score > 0.6  # probe fits anchors, views are the same graphs
+
+
+def test_view_label_consistency_validates_lengths(dataset, rng):
+    encoder = GNNEncoder(dataset.num_features, 16, 2, rng=rng)
+    with pytest.raises(ValueError):
+        view_label_consistency(encoder, dataset.graphs[:3],
+                               dataset.graphs[:2], np.zeros(3))
+
+
+# ----------------------------------------------------------------------
+# Generator adaptation (paper's future-work direction)
+# ----------------------------------------------------------------------
+def test_adapt_generator_only_touches_fq(dataset, rng):
+    model = SGCLModel(dataset.num_features, SGCLConfig(), rng=rng)
+    fk_before = model.f_k.state_dict()
+    fq_before = model.generator.encoder.state_dict()
+    history = adapt_generator(model, dataset.graphs, epochs=2, seed=0)
+    assert len(history) == 2
+    fk_after = model.f_k.state_dict()
+    assert all(np.allclose(fk_before[k], fk_after[k]) for k in fk_before)
+    fq_after = model.generator.encoder.state_dict()
+    assert any(not np.allclose(fq_before[k], fq_after[k])
+               for k in fq_before)
+
+
+def test_adapt_generator_reduces_likelihood_loss(dataset, rng):
+    model = SGCLModel(dataset.num_features, SGCLConfig(), rng=rng)
+    history = adapt_generator(model, dataset.graphs, epochs=5, seed=0)
+    assert history[-1] < history[0]

@@ -1,0 +1,185 @@
+"""Augmentation operators: Φ semantics, Lipschitz augmentation, GraphCL ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GRAPHCL_AUGMENTATIONS,
+    attribute_mask,
+    augmentation_probability_mask,
+    binarize_constants,
+    drop_single_node,
+    lipschitz_augment,
+    phi_node_drop,
+    random_edge_perturb,
+    random_node_drop,
+    random_subgraph,
+)
+
+from _helpers import make_path, make_triangle
+
+
+def test_drop_single_node(rng):
+    g = make_path(rng, n=4)
+    dropped = drop_single_node(g, 1)
+    assert dropped.num_nodes == 3
+    assert 1 not in dropped.meta["parent_nodes"]
+
+
+def test_phi_drop_count_and_meta(rng):
+    g = make_path(rng, n=10)
+    view = phi_node_drop(g, 3, np.ones(10), rng)
+    assert view.num_nodes == 7
+    assert len(view.meta["dropped_nodes"]) == 3
+
+
+def test_phi_never_drops_zero_probability_nodes(rng):
+    g = make_path(rng, n=10)
+    probability = np.ones(10)
+    probability[:5] = 0.0
+    for _ in range(10):
+        view = phi_node_drop(g, 3, probability, rng)
+        assert all(d >= 5 for d in view.meta["dropped_nodes"])
+
+
+def test_phi_caps_at_droppable_count(rng):
+    g = make_path(rng, n=6)
+    probability = np.zeros(6)
+    probability[0] = 1.0
+    view = phi_node_drop(g, 4, probability, rng)
+    assert view.num_nodes == 5  # only one node was droppable
+
+
+def test_phi_always_leaves_a_node(rng):
+    g = make_triangle(rng)
+    view = phi_node_drop(g, 99, np.ones(3), rng)
+    assert view.num_nodes >= 1
+
+
+def test_phi_zero_drops_is_copy(rng):
+    g = make_triangle(rng)
+    view = phi_node_drop(g, 0, np.ones(3), rng)
+    assert view.num_nodes == 3
+    assert len(view.meta["dropped_nodes"]) == 0
+    # Regression: identity views must still carry the parent mapping the
+    # soft-view-weighting pathway relies on.
+    assert (view.meta["parent_nodes"] == np.arange(3)).all()
+
+
+def test_phi_all_zero_probabilities_keeps_parent_mapping(rng):
+    g = make_triangle(rng)
+    view = phi_node_drop(g, 2, np.zeros(3), rng)
+    assert view.num_nodes == 3
+    assert (view.meta["parent_nodes"] == np.arange(3)).all()
+
+
+def test_phi_validates_probability_shape(rng):
+    with pytest.raises(ValueError):
+        phi_node_drop(make_triangle(rng), 1, np.ones(5), rng)
+
+
+def test_binarize_mean_threshold():
+    c = binarize_constants(np.array([1.0, 2.0, 3.0, 10.0]))
+    assert c.tolist() == [0.0, 0.0, 0.0, 1.0]
+
+
+def test_binarize_uniform_constants_all_one():
+    assert binarize_constants(np.ones(4)).tolist() == [1.0] * 4
+
+
+def test_probability_mask_eq18():
+    binary = np.array([1.0, 0.0])
+    head = np.array([0.3, 0.3])
+    p = augmentation_probability_mask(binary, head)
+    assert p.tolist() == [1.0, 0.3]
+
+
+def test_lipschitz_augment_protects_semantic_nodes(rng):
+    g = make_path(rng, n=10)
+    keep = np.ones(10)
+    keep[5:] = 0.2  # nodes 0–4 semantic (P=1), 5–9 droppable
+    for _ in range(5):
+        view, complement = lipschitz_augment(g, keep, 0.7, rng)
+        assert all(d >= 5 for d in view.meta["dropped_nodes"])
+        # Complement drops with weight P: only P>0 nodes are candidates;
+        # semantic nodes (P=1) are the most likely drops.
+        assert len(complement.meta["dropped_nodes"]) == 3
+
+
+def test_lipschitz_augment_drop_count_follows_rho(rng):
+    g = make_path(rng, n=20)
+    view, _ = lipschitz_augment(g, np.full(20, 0.5), 0.9, rng)
+    assert view.num_nodes == 18  # (1-0.9)*20 = 2 dropped
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(5, 30), st.floats(0.5, 1.0), st.integers(0, 999))
+def test_lipschitz_augment_size_property(n, rho, seed):
+    local = np.random.default_rng(seed)
+    g = make_path(local, n=n)
+    keep = local.uniform(0.1, 0.9, size=n)
+    view, complement = lipschitz_augment(g, keep, rho, local)
+    expected = n - int(round((1 - rho) * n))
+    assert view.num_nodes == expected
+    assert complement.num_nodes == expected
+
+
+def test_random_node_drop(rng):
+    g = make_path(rng, n=10)
+    view = random_node_drop(g, 0.2, rng)
+    assert view.num_nodes == 8
+
+
+def test_random_edge_perturb_preserves_edge_count(rng):
+    g = make_path(rng, n=12)
+    view = random_edge_perturb(g, 0.3, rng)
+    # Same number of undirected edges (some removed, same count added).
+    assert view.num_edges == g.num_edges
+    assert view.num_nodes == g.num_nodes
+
+
+def test_random_edge_perturb_changes_edges(rng):
+    g = make_path(rng, n=20)
+    view = random_edge_perturb(g, 0.5, rng)
+    original = {frozenset(e) for e in g.edge_index.T.tolist()}
+    new = {frozenset(e) for e in view.edge_index.T.tolist()}
+    assert original != new
+
+
+def test_attribute_mask_zeroes_fraction(rng):
+    g = make_path(rng, n=10)
+    view = attribute_mask(g, 0.3, rng)
+    zero_rows = (view.x == 0).all(axis=1).sum()
+    assert zero_rows >= 3
+    assert view.num_edges == g.num_edges
+
+
+def test_random_subgraph_size(rng):
+    g = make_path(rng, n=10)
+    view = random_subgraph(g, 0.3, rng)
+    assert view.num_nodes == 7
+
+
+def test_random_subgraph_is_connected(rng):
+    import networkx as nx
+    g = make_path(rng, n=15)
+    view = random_subgraph(g, 0.4, rng)
+    assert nx.is_connected(view.to_networkx())
+
+
+def test_graphcl_pool_has_four_operations():
+    assert set(GRAPHCL_AUGMENTATIONS) == {"node_drop", "edge_perturb",
+                                          "attr_mask", "subgraph"}
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHCL_AUGMENTATIONS))
+def test_graphcl_ops_produce_valid_graphs(name, rng):
+    g = make_path(rng, n=12)
+    view = GRAPHCL_AUGMENTATIONS[name](g, 0.2, rng)
+    assert view.num_nodes >= 1
+    if view.num_edges:
+        assert view.edge_index.max() < view.num_nodes

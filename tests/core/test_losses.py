@@ -1,0 +1,114 @@
+"""Contrastive losses: Eq. 24–26 semantics and the generator likelihood."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import complement_loss, semantic_info_nce, weight_regularizer
+from repro.core.losses import graph_likelihood_loss
+from repro.nn import Linear, Parameter
+from repro.tensor import Tensor
+
+from _helpers import make_triangle
+
+
+def _orthogonal_embeddings(n, dim=8):
+    return Tensor(np.eye(n, dim))
+
+
+def test_info_nce_prefers_aligned_pairs(rng):
+    anchors = _orthogonal_embeddings(4)
+    aligned = semantic_info_nce(anchors, anchors, tau=0.2)
+    shuffled = Tensor(anchors.data[[1, 2, 3, 0]])
+    misaligned = semantic_info_nce(anchors, shuffled, tau=0.2)
+    assert aligned.item() < misaligned.item()
+
+
+def test_info_nce_excludes_positive_from_denominator():
+    """With orthogonal anchors/views, denominator sums only the n−1
+    off-diagonal terms: loss = log((n−1)·e^0) − 1/τ."""
+    n, tau = 4, 0.5
+    anchors = _orthogonal_embeddings(n)
+    loss = semantic_info_nce(anchors, anchors, tau)
+    expected = np.log(n - 1) - 1.0 / tau
+    assert np.isclose(loss.item(), expected, atol=1e-6)
+
+
+def test_info_nce_requires_two_graphs(rng):
+    single = Tensor(rng.normal(size=(1, 4)))
+    with pytest.raises(ValueError):
+        semantic_info_nce(single, single, 0.2)
+
+
+def test_info_nce_gradient_pulls_positives_together(rng):
+    anchors = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+    views = Tensor(rng.normal(size=(4, 6)))
+    loss = semantic_info_nce(anchors, views, 0.2)
+    loss.backward()
+    assert anchors.grad is not None
+    assert np.isfinite(anchors.grad).all()
+
+
+def test_info_nce_temperature_scales_hardness(rng):
+    anchors = Tensor(rng.normal(size=(6, 8)))
+    views = Tensor(anchors.data + rng.normal(0, 0.01, size=(6, 8)))
+    sharp = semantic_info_nce(anchors, views, 0.1)
+    smooth = semantic_info_nce(anchors, views, 1.0)
+    # With near-perfect alignment, a smaller τ yields a lower loss.
+    assert sharp.item() < smooth.item()
+
+
+def test_complement_loss_penalises_close_complements(rng):
+    anchors = _orthogonal_embeddings(3)
+    views = anchors
+    far = Tensor(-np.eye(3, 8))
+    near = Tensor(anchors.data + 0.01)
+    loss_far = complement_loss(anchors, views, far, 0.2)
+    loss_near = complement_loss(anchors, views, near, 0.2)
+    assert loss_far.item() < loss_near.item()
+
+
+def test_complement_loss_nonnegative(rng):
+    anchors = Tensor(rng.normal(size=(4, 8)))
+    views = Tensor(rng.normal(size=(4, 8)))
+    complements = Tensor(rng.normal(size=(4, 8)))
+    assert complement_loss(anchors, views, complements, 0.2).item() > 0
+
+
+def test_weight_regularizer_is_parameter_l2(rng):
+    layer = Linear(3, 2, rng=rng)
+    expected = np.sqrt(sum((p.data ** 2).sum() for p in layer.parameters()))
+    assert np.isclose(weight_regularizer(layer).item(), expected, atol=1e-6)
+
+
+def test_weight_regularizer_gradient(rng):
+    layer = Linear(3, 2, rng=rng)
+    weight_regularizer(layer).backward()
+    assert layer.weight.grad is not None
+
+
+def test_graph_likelihood_loss_decreases_with_training(rng, triangle):
+    reps = Tensor(rng.normal(size=(3, 8)))
+    w = Parameter(rng.normal(0, 0.1, size=8))
+    from repro.nn import Adam
+    optimizer = Adam([w], lr=0.05)
+    degrees = triangle.degrees()
+    first = None
+    for step in range(50):
+        loss = graph_likelihood_loss(reps, triangle.edge_index, degrees, w,
+                                     np.random.default_rng(step))
+        if first is None:
+            first = loss.item()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    assert loss.item() < first
+
+
+def test_graph_likelihood_edge_cases(rng):
+    w = Tensor(rng.normal(size=4))
+    empty = graph_likelihood_loss(Tensor(rng.normal(size=(3, 4))),
+                                  np.zeros((2, 0), dtype=np.int64),
+                                  np.zeros(3), w, rng)
+    assert empty.item() == 0.0

@@ -1,0 +1,66 @@
+"""Dataset save/load round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, load_saved_dataset, save_dataset
+
+
+def _roundtrip(dataset, tmp_path):
+    path = save_dataset(dataset, tmp_path / "data")
+    return load_saved_dataset(path)
+
+
+def test_roundtrip_classification(tmp_path):
+    dataset = load_dataset("MUTAG", seed=0, scale=0.1)
+    loaded = _roundtrip(dataset, tmp_path)
+    assert loaded.name == dataset.name
+    assert loaded.num_classes == dataset.num_classes
+    assert loaded.task == dataset.task
+    assert len(loaded) == len(dataset)
+    for a, b in zip(dataset, loaded):
+        assert np.allclose(a.x, b.x)
+        assert (a.edge_index == b.edge_index).all()
+        assert a.y == b.y
+        assert (a.meta["semantic_nodes"] == b.meta["semantic_nodes"]).all()
+
+
+def test_roundtrip_multitask_with_nan_labels(tmp_path):
+    dataset = load_dataset("MUV", seed=0, scale=0.005)
+    loaded = _roundtrip(dataset, tmp_path)
+    for a, b in zip(dataset, loaded):
+        both_nan = np.isnan(a.y) & np.isnan(b.y)
+        assert (both_nan | (a.y == b.y)).all()
+        assert a.meta["scaffold"] == b.meta["scaffold"]
+
+
+def test_roundtrip_unlabeled_corpus(tmp_path):
+    from repro.data import generate_zinc_like
+    dataset = generate_zinc_like(seed=0, num_graphs=10)
+    loaded = _roundtrip(dataset, tmp_path)
+    assert all(g.y is None for g in loaded)
+
+
+def test_npz_suffix_appended(tmp_path):
+    dataset = load_dataset("MUTAG", seed=0, scale=0.1)
+    path = save_dataset(dataset, tmp_path / "plainname")
+    assert path.suffix == ".npz"
+    assert path.exists()
+
+
+def test_version_check(tmp_path):
+    import json
+    dataset = load_dataset("MUTAG", seed=0, scale=0.1)
+    path = save_dataset(dataset, tmp_path / "data")
+    # Corrupt the header version.
+    with np.load(path) as archive:
+        arrays = {k: archive[k] for k in archive.files}
+    header = json.loads(bytes(arrays["__header__"]).decode())
+    header["version"] = 99
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    with pytest.raises(ValueError):
+        load_saved_dataset(path)

@@ -1,0 +1,117 @@
+"""Split utilities: k-fold stratification, scaffold split, label-rate split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    label_rate_split,
+    load_dataset,
+    scaffold_split,
+    stratified_kfold,
+    train_test_split,
+)
+
+
+def test_train_test_split_disjoint_and_complete(rng):
+    train, test = train_test_split(100, 0.1, rng)
+    assert len(test) == 10
+    assert len(np.intersect1d(train, test)) == 0
+    assert len(np.union1d(train, test)) == 100
+
+
+def test_train_test_split_validates_fraction(rng):
+    with pytest.raises(ValueError):
+        train_test_split(10, 1.5, rng)
+
+
+def test_kfold_partitions_everything(rng):
+    labels = rng.integers(3, size=60)
+    folds = stratified_kfold(labels, 5, rng)
+    assert len(folds) == 5
+    all_test = np.concatenate([test for _, test in folds])
+    assert sorted(all_test.tolist()) == list(range(60))
+    for train, test in folds:
+        assert len(np.intersect1d(train, test)) == 0
+
+
+def test_kfold_stratification(rng):
+    labels = np.array([0] * 50 + [1] * 10)
+    folds = stratified_kfold(labels, 5, rng)
+    for _, test in folds:
+        test_labels = labels[test]
+        assert (test_labels == 1).sum() == 2  # 10 positives over 5 folds
+
+
+def test_kfold_requires_k_at_least_2(rng):
+    with pytest.raises(ValueError):
+        stratified_kfold(np.zeros(10), 1, rng)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(20, 100), st.integers(2, 8), st.integers(0, 999))
+def test_kfold_property_partition(n, k, seed):
+    local = np.random.default_rng(seed)
+    labels = local.integers(2, size=n)
+    folds = stratified_kfold(labels, k, local)
+    tests = np.concatenate([t for _, t in folds])
+    assert sorted(tests.tolist()) == list(range(n))
+
+
+def test_scaffold_split_disjoint_scaffolds():
+    dataset = load_dataset("BBBP", seed=0, scale=0.2)
+    train, valid, test = scaffold_split(dataset)
+    scaffold_of = lambda idx: {dataset[int(i)].meta["scaffold"] for i in idx}
+    assert not (scaffold_of(train) & scaffold_of(test))
+    assert len(train) + len(valid) + len(test) == len(dataset)
+
+
+def test_scaffold_split_deterministic():
+    dataset = load_dataset("BBBP", seed=0, scale=0.2)
+    a = scaffold_split(dataset)
+    b = scaffold_split(dataset)
+    for x, y in zip(a, b):
+        assert (x == y).all()
+
+
+def test_scaffold_split_train_is_biggest():
+    dataset = load_dataset("BACE", seed=0, scale=0.2)
+    train, valid, test = scaffold_split(dataset)
+    assert len(train) > len(valid)
+    assert len(train) > len(test)
+    assert len(test) > 0
+
+
+def test_scaffold_split_requires_metadata(rng):
+    from repro.data import GraphDataset
+    from _helpers import make_triangle
+    dataset = GraphDataset("toy", [make_triangle(rng)], 2)
+    with pytest.raises(KeyError):
+        scaffold_split(dataset)
+
+
+def test_scaffold_split_fraction_validation():
+    dataset = load_dataset("BBBP", seed=0, scale=0.05)
+    with pytest.raises(ValueError):
+        scaffold_split(dataset, fractions=(0.5, 0.2, 0.2))
+
+
+def test_label_rate_split_sizes(rng):
+    labels = np.repeat([0, 1], 100)
+    picked = label_rate_split(labels, 0.1, rng)
+    assert len(picked) == 20
+    assert set(labels[picked]) == {0, 1}
+
+
+def test_label_rate_split_keeps_every_class(rng):
+    labels = np.array([0] * 195 + [1] * 5)
+    picked = label_rate_split(labels, 0.01, rng)
+    assert 1 in labels[picked]
+
+
+def test_label_rate_split_validates(rng):
+    with pytest.raises(ValueError):
+        label_rate_split(np.zeros(10), 0.0, rng)

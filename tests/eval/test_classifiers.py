@@ -1,0 +1,105 @@
+"""SVM (SMO) and logistic-regression classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import LogisticRegression, OneVsRestSVC, SVC, rbf_kernel
+
+
+def _blobs(rng, centers, n=30, std=0.4):
+    xs, ys = [], []
+    for label, center in enumerate(centers):
+        xs.append(rng.normal(center, std, size=(n, len(center))))
+        ys.append(np.full(n, label))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+def test_svc_separable(rng):
+    x, y = _blobs(rng, [(-2, -2), (2, 2)])
+    model = SVC().fit(x, y)
+    assert (model.predict(x) == y).mean() > 0.95
+
+
+def test_svc_linear_kernel(rng):
+    x, y = _blobs(rng, [(-2, -2), (2, 2)])
+    model = SVC(kernel="linear").fit(x, y)
+    assert (model.predict(x) == y).mean() > 0.95
+
+
+def test_svc_rbf_solves_xor(rng):
+    x = rng.uniform(-1, 1, size=(200, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(float)
+    model = SVC(C=10.0).fit(x, y)
+    assert (model.predict(x) == y).mean() > 0.9
+
+
+def test_svc_decision_function_sign_matches_predict(rng):
+    x, y = _blobs(rng, [(-2, 0), (2, 0)])
+    model = SVC().fit(x, y)
+    scores = model.decision_function(x)
+    assert ((scores >= 0).astype(int) == model.predict(x)).all()
+
+
+def test_svc_unfitted_raises(rng):
+    with pytest.raises(RuntimeError):
+        SVC().predict(rng.normal(size=(2, 2)))
+
+
+def test_svc_invalid_kernel():
+    with pytest.raises(ValueError):
+        SVC(kernel="poly")
+
+
+def test_svc_deterministic_given_seed(rng):
+    x, y = _blobs(rng, [(-1, 0), (1, 0)], std=1.0)
+    a = SVC(seed=7).fit(x, y).decision_function(x)
+    b = SVC(seed=7).fit(x, y).decision_function(x)
+    assert np.allclose(a, b)
+
+
+def test_rbf_kernel_formula(rng):
+    a = rng.normal(size=(3, 2))
+    k = rbf_kernel(a, a, gamma=0.5)
+    assert np.allclose(np.diag(k), 1.0)
+    manual = np.exp(-0.5 * np.sum((a[0] - a[1]) ** 2))
+    assert np.isclose(k[0, 1], manual)
+
+
+def test_ovr_multiclass(rng):
+    x, y = _blobs(rng, [(-3, 0), (0, 3), (3, 0)])
+    model = OneVsRestSVC().fit(x, y)
+    assert (model.predict(x) == y).mean() > 0.9
+
+
+def test_ovr_single_class(rng):
+    x = rng.normal(size=(10, 2))
+    y = np.zeros(10)
+    model = OneVsRestSVC().fit(x, y)
+    assert (model.predict(x) == 0).all()
+
+
+def test_logreg_separable_and_multiclass(rng):
+    x, y = _blobs(rng, [(-3, 0), (0, 3), (3, 0)])
+    model = LogisticRegression().fit(x, y)
+    assert (model.predict(x) == y).mean() > 0.95
+
+
+def test_logreg_regularisation_shrinks_weights(rng):
+    x, y = _blobs(rng, [(-2, 0), (2, 0)])
+    loose = LogisticRegression(C=100.0).fit(x, y)
+    tight = LogisticRegression(C=0.01).fit(x, y)
+    assert np.abs(tight._weights[:-1]).sum() < np.abs(loose._weights[:-1]).sum()
+
+
+def test_logreg_unfitted_raises(rng):
+    with pytest.raises(RuntimeError):
+        LogisticRegression().decision_function(rng.normal(size=(2, 2)))
+
+
+def test_logreg_noninteger_labels(rng):
+    x, y = _blobs(rng, [(-2, 0), (2, 0)])
+    labels = np.where(y == 0, "neg", "pos")
+    model = LogisticRegression().fit(x, labels)
+    assert set(model.predict(x)) <= {"neg", "pos"}

@@ -1,0 +1,85 @@
+"""GNNEncoder / ProjectionHead behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn import GNNEncoder, ProjectionHead
+from repro.graph import Batch
+from repro.tensor import Tensor
+
+from _helpers import make_path, make_triangle
+
+
+@pytest.mark.parametrize("conv", ["gin", "gcn", "sage", "gat"])
+def test_graph_representations_shape(conv, rng):
+    encoder = GNNEncoder(4, 16, 3, rng=rng, conv=conv)
+    batch = Batch([make_triangle(rng), make_path(rng)])
+    out = encoder.graph_representations(batch)
+    assert out.shape == (2, 16)
+
+
+def test_jk_cat_out_dim(rng):
+    encoder = GNNEncoder(4, 8, 3, rng=rng, jk="cat")
+    assert encoder.out_dim == 24
+    batch = Batch([make_triangle(rng)])
+    assert encoder(batch).shape == (3, 24)
+
+
+def test_invalid_options_rejected(rng):
+    with pytest.raises(ValueError):
+        GNNEncoder(4, 8, 2, rng=rng, conv="transformer")
+    with pytest.raises(ValueError):
+        GNNEncoder(4, 8, 2, rng=rng, pooling="attention")
+    with pytest.raises(ValueError):
+        GNNEncoder(4, 8, 2, rng=rng, jk="sum")
+
+
+def test_pool_weights_override(rng):
+    encoder = GNNEncoder(4, 8, 2, rng=rng)
+    batch = Batch([make_triangle(rng)])
+    zero_weights = Tensor(np.zeros(3))
+    out = encoder.graph_representations(batch, pool_weights=zero_weights)
+    assert np.allclose(out.data, 0.0)
+
+
+def test_node_weight_threading(rng):
+    encoder = GNNEncoder(4, 8, 2, rng=rng, batch_norm=False)
+    batch = Batch([make_triangle(rng)])
+    mask = Tensor(np.array([1.0, 0.0, 1.0]))
+    out = encoder(batch, node_weight=mask)
+    assert np.allclose(out.data[1], 0.0)
+
+
+def test_eval_mode_batch_independence(rng):
+    """In eval mode, a graph's encoding must not depend on its batch mates."""
+    encoder = GNNEncoder(4, 8, 2, rng=rng)
+    encoder.eval()
+    a, b = make_triangle(rng), make_path(rng, n=5)
+    together = encoder.graph_representations(Batch([a, b])).data
+    alone = encoder.graph_representations(Batch([a])).data
+    assert np.allclose(together[0], alone[0], atol=1e-8)
+
+
+def test_mean_pooling_option(rng):
+    encoder = GNNEncoder(4, 8, 2, rng=rng, pooling="mean")
+    batch = Batch([make_triangle(rng)])
+    nodes = encoder(batch)
+    pooled = encoder.graph_representations(batch)
+    assert np.allclose(pooled.data[0], nodes.data.mean(axis=0))
+
+
+def test_projection_head_shapes(rng):
+    head = ProjectionHead(16, 8, rng=rng)
+    out = head(Tensor(rng.normal(size=(5, 16))))
+    assert out.shape == (5, 8)
+    default = ProjectionHead(16, rng=rng)
+    assert default(Tensor(rng.normal(size=(2, 16)))).shape == (2, 16)
+
+
+def test_batch_norm_flag_removes_bn(rng):
+    with_bn = GNNEncoder(4, 8, 2, rng=np.random.default_rng(0), conv="gin")
+    without = GNNEncoder(4, 8, 2, rng=np.random.default_rng(0), conv="gin",
+                         batch_norm=False)
+    assert without.num_parameters() < with_bn.num_parameters()

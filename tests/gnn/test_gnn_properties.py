@@ -1,0 +1,71 @@
+"""Hypothesis property tests on GNN encoder invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import GNNEncoder
+from repro.graph import Batch
+
+from _helpers import make_path, make_triangle
+
+
+def _encoder(seed: int, conv: str = "gin") -> GNNEncoder:
+    encoder = GNNEncoder(4, 8, 2, rng=np.random.default_rng(seed), conv=conv)
+    encoder.eval()
+    return encoder
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(2, 7), min_size=2, max_size=5),
+       st.integers(0, 99))
+def test_batch_order_invariance(sizes, seed):
+    """Reordering graphs in a batch permutes the pooled rows identically."""
+    rng = np.random.default_rng(seed)
+    graphs = [make_path(rng, n=n) for n in sizes]
+    encoder = _encoder(seed)
+    forward = encoder.graph_representations(Batch(graphs)).data
+    reversed_out = encoder.graph_representations(Batch(graphs[::-1])).data
+    assert np.allclose(forward, reversed_out[::-1], atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 8), st.integers(0, 99))
+def test_duplicated_graph_identical_rows(n, seed):
+    rng = np.random.default_rng(seed)
+    graph = make_path(rng, n=n)
+    encoder = _encoder(seed)
+    out = encoder.graph_representations(Batch([graph, graph])).data
+    assert np.allclose(out[0], out[1], atol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 99), st.sampled_from(["gin", "gcn", "sage", "gat"]))
+def test_node_relabelling_invariance_of_pooled_output(seed, conv):
+    """Graph-level representations are invariant to node relabelling."""
+    rng = np.random.default_rng(seed)
+    graph = make_path(rng, n=6)
+    perm = rng.permutation(6)
+    inverse = np.argsort(perm)
+    relabelled = type(graph)(graph.x[perm], inverse[graph.edge_index],
+                             graph.y)
+    encoder = _encoder(seed, conv)
+    a = encoder.graph_representations(Batch([graph])).data
+    b = encoder.graph_representations(Batch([relabelled])).data
+    assert np.allclose(a, b, atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 99))
+def test_zero_node_weight_zeroes_sum_pooled_output(seed):
+    rng = np.random.default_rng(seed)
+    graph = make_triangle(rng)
+    encoder = GNNEncoder(4, 8, 2, rng=np.random.default_rng(seed),
+                         conv="gin", batch_norm=False)
+    encoder.eval()
+    from repro.tensor import Tensor
+    out = encoder.graph_representations(
+        Batch([graph]), node_weight=Tensor(np.zeros(3)))
+    assert np.allclose(out.data, 0.0, atol=1e-12)

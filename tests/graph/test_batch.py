@@ -1,0 +1,73 @@
+"""Disjoint-union batching invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Batch
+
+from _helpers import make_path, make_triangle
+
+
+def test_batch_counts(rng):
+    batch = Batch([make_triangle(rng), make_path(rng, n=4)])
+    assert batch.num_graphs == 2
+    assert batch.num_nodes == 7
+    assert batch.num_edges == 6 + 6
+    assert len(batch) == 2
+
+
+def test_edge_offsets(rng):
+    tri = make_triangle(rng)
+    batch = Batch([tri, tri])
+    second_half = batch.edge_index[:, 6:]
+    assert second_half.min() >= 3
+    assert (second_half - 3 == tri.edge_index).all()
+
+
+def test_node_graph_vector(rng):
+    batch = Batch([make_triangle(rng), make_path(rng, n=4)])
+    assert batch.node_graph.tolist() == [0, 0, 0, 1, 1, 1, 1]
+
+
+def test_nodes_of_and_unbatch_roundtrip(rng):
+    graphs = [make_triangle(rng), make_path(rng, n=5), make_triangle(rng)]
+    batch = Batch(graphs)
+    values = np.arange(batch.num_nodes)
+    chunks = batch.unbatch_node_values(values)
+    assert [len(c) for c in chunks] == [3, 5, 3]
+    assert (np.concatenate(chunks) == values).all()
+    assert (batch.nodes_of(1) == np.arange(3, 8)).all()
+
+
+def test_labels_stacking(rng):
+    batch = Batch([make_triangle(rng, y=0), make_path(rng, y=1)])
+    assert batch.labels().tolist() == [0, 1]
+
+
+def test_empty_batch_rejected():
+    with pytest.raises(ValueError):
+        Batch([])
+
+
+def test_features_concatenated_in_order(rng):
+    a, b = make_triangle(rng), make_path(rng, n=4)
+    batch = Batch([a, b])
+    assert np.allclose(batch.x[:3], a.x)
+    assert np.allclose(batch.x[3:], b.x)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(2, 8), min_size=1, max_size=6),
+       st.integers(0, 999))
+def test_batch_preserves_totals(sizes, seed):
+    """Property: batching preserves total node and edge counts."""
+    local = np.random.default_rng(seed)
+    graphs = [make_path(local, n=n) for n in sizes]
+    batch = Batch(graphs)
+    assert batch.num_nodes == sum(g.num_nodes for g in graphs)
+    assert batch.num_edges == sum(g.num_edges for g in graphs)
+    assert batch.edge_index.max(initial=-1) < batch.num_nodes

@@ -1,0 +1,94 @@
+"""Graph container semantics: validation, distances, subgraphs, conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+
+from _helpers import make_path, make_triangle
+
+
+def test_validation_rejects_bad_shapes(rng):
+    with pytest.raises(ValueError):
+        Graph(rng.normal(size=4), np.zeros((2, 0)))
+    with pytest.raises(ValueError):
+        Graph(rng.normal(size=(3, 2)), np.zeros((3, 1)))
+
+
+def test_validation_rejects_out_of_range_edges(rng):
+    with pytest.raises(ValueError):
+        Graph(rng.normal(size=(2, 2)), np.array([[0, 2], [1, 0]]))
+
+
+def test_empty_edge_index_normalised(rng):
+    g = Graph(rng.normal(size=(2, 2)), np.zeros((2, 0)))
+    assert g.edge_index.shape == (2, 0)
+    assert g.num_edges == 0
+
+
+def test_degrees_and_adjacency(rng):
+    g = make_triangle(rng)
+    assert g.degrees().tolist() == [2.0, 2.0, 2.0]
+    adjacency = g.adjacency()
+    assert np.allclose(adjacency, adjacency.T)
+    assert adjacency.sum() == 6
+
+
+def test_subgraph_keeps_internal_edges(rng):
+    g = make_path(rng, n=4)
+    sub = g.subgraph(np.array([0, 1]))
+    assert sub.num_nodes == 2
+    assert sub.num_edges == 2  # the 0–1 edge, both orientations
+    assert np.allclose(sub.x, g.x[[0, 1]])
+
+
+def test_subgraph_relabels_to_contiguous(rng):
+    g = make_path(rng, n=4)
+    sub = g.subgraph(np.array([1, 3]))
+    assert sub.num_nodes == 2
+    assert sub.num_edges == 0  # nodes 1 and 3 are not adjacent
+    assert (sub.meta["parent_nodes"] == [1, 3]).all()
+
+
+def test_drop_nodes_complements_subgraph(rng):
+    g = make_path(rng, n=5)
+    dropped = g.drop_nodes(np.array([0, 4]))
+    assert dropped.num_nodes == 3
+    assert (dropped.meta["parent_nodes"] == [1, 2, 3]).all()
+
+
+def test_subgraph_rejects_bad_indices(rng):
+    g = make_triangle(rng)
+    with pytest.raises(ValueError):
+        g.subgraph(np.array([0, 5]))
+
+
+def test_copy_is_independent(rng):
+    g = make_triangle(rng)
+    clone = g.copy()
+    clone.x[0, 0] = 123.0
+    assert g.x[0, 0] != 123.0
+
+
+def test_networkx_roundtrip(rng):
+    g = make_path(rng, n=4)
+    nx_graph = g.to_networkx()
+    assert nx_graph.number_of_nodes() == 4
+    assert nx_graph.number_of_edges() == 3
+    back = Graph.from_networkx(nx_graph, x=g.x)
+    assert back.num_edges == g.num_edges
+    assert sorted(map(tuple, back.edge_index.T.tolist())) == \
+        sorted(map(tuple, g.edge_index.T.tolist()))
+
+
+def test_from_networkx_default_features():
+    import networkx as nx
+    g = Graph.from_networkx(nx.cycle_graph(5))
+    assert g.x.shape == (5, 1)
+    assert g.num_edges == 10
+
+
+def test_repr_contains_counts(rng):
+    assert "num_nodes=3" in repr(make_triangle(rng))

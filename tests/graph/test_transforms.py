@@ -1,0 +1,56 @@
+"""Feature/structure transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import (
+    add_self_loops,
+    constant_features,
+    degree_features,
+    normalized_adjacency_weights,
+    one_hot,
+)
+
+from _helpers import make_path, make_triangle
+
+
+def test_add_self_loops_appends_diagonal(rng):
+    g = make_triangle(rng)
+    looped = add_self_loops(g.edge_index, 3)
+    assert looped.shape[1] == 6 + 3
+    assert (looped[:, -3:] == np.tile(np.arange(3), (2, 1))).all()
+
+
+def test_one_hot():
+    out = one_hot(np.array([0, 2, 1]), 3)
+    assert out.tolist() == [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+
+
+def test_degree_features_encodes_degree(rng):
+    g = make_path(rng, n=4)
+    transformed = degree_features(g, max_degree=8)
+    assert transformed.x.shape == (4, 8)
+    # Path ends have degree 1, middles degree 2.
+    assert transformed.x[0, 1] == 1.0
+    assert transformed.x[1, 2] == 1.0
+
+
+def test_degree_features_clips(rng):
+    g = make_triangle(rng)
+    transformed = degree_features(g, max_degree=2)
+    assert transformed.x[:, 1].sum() == 3  # all degree-2 clipped to last bin
+
+
+def test_constant_features(rng):
+    g = make_triangle(rng)
+    assert (constant_features(g, dim=5).x == 1.0).all()
+
+
+def test_normalized_adjacency_weights_gcn_formula(rng):
+    g = make_path(rng, n=3)
+    looped = add_self_loops(g.edge_index, 3)
+    weights = normalized_adjacency_weights(looped, 3)
+    degrees = np.bincount(looped[0], minlength=3)
+    expected = 1.0 / np.sqrt(degrees[looped[0]] * degrees[looped[1]])
+    assert np.allclose(weights, expected)

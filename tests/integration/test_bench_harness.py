@@ -1,0 +1,121 @@
+"""Benchmark harness internals: specs, ranking, reporting."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    average_ranks,
+    print_comparison_table,
+    save_results,
+)
+from repro.bench.specs import (
+    SENSITIVITY_GRIDS,
+    SENSITIVITY_OPTIMA,
+    TABLE3_DATASETS,
+    TABLE3_METHODS,
+    TABLE3_PAPER,
+    TABLE4_DATASETS,
+    TABLE4_METHODS,
+    TABLE4_PAPER,
+    TABLE5_METHODS,
+    TABLE5_PAPER,
+    TABLE6_PAPER,
+    bench_scale,
+)
+
+
+def test_table3_spec_complete():
+    assert set(TABLE3_PAPER) == set(TABLE3_METHODS)
+    for method, row in TABLE3_PAPER.items():
+        assert set(row) == set(TABLE3_DATASETS), method
+
+
+def test_table3_paper_sgcl_has_best_rank():
+    """Transcription sanity: the paper's own numbers rank SGCL first."""
+    ranks = average_ranks(TABLE3_PAPER, TABLE3_DATASETS)
+    assert min(ranks, key=ranks.get) == "SGCL"
+
+
+def test_table4_spec_complete():
+    assert set(TABLE4_PAPER) == set(TABLE4_METHODS)
+    for method, row in TABLE4_PAPER.items():
+        assert set(row) == set(TABLE4_DATASETS), method
+
+
+def test_table4_paper_sgcl_best_rank():
+    ranks = average_ranks(TABLE4_PAPER, TABLE4_DATASETS)
+    assert min(ranks, key=ranks.get) == "SGCL"
+
+
+def test_table5_full_model_best():
+    assert max(TABLE5_PAPER, key=TABLE5_PAPER.get) == "SGCL"
+    assert set(TABLE5_PAPER) == set(TABLE5_METHODS)
+
+
+def test_table6_sgcl_wins_one_percent_settings():
+    sgcl = TABLE6_PAPER["SGCL"]
+    for column in ("NCI1(1%)", "COLLAB(1%)"):
+        others = [row[column] for name, row in TABLE6_PAPER.items()
+                  if name != "SGCL"]
+        assert sgcl[column] > max(others), column
+
+
+def test_sensitivity_grids_contain_optima():
+    for param, grid in SENSITIVITY_GRIDS.items():
+        assert SENSITIVITY_OPTIMA[param] in grid
+
+
+def test_bench_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2.5")
+    assert bench_scale() == 2.5
+    monkeypatch.delenv("REPRO_SCALE")
+    assert bench_scale() == 1.0
+
+
+def test_average_ranks_skips_missing_cells():
+    table = {"a": {"d": 1.0, "e": None}, "b": {"d": 2.0, "e": 3.0}}
+    ranks = average_ranks(table, ["d", "e"])
+    assert ranks["a"] == 2.0  # only ranked on dataset d (rank 2 of 2)
+    assert ranks["b"] == 1.0  # 1st on d... wait, b=2.0 > a=1.0 on d
+
+
+def test_average_ranks_orders_correctly():
+    table = {"low": {"d": 10.0}, "high": {"d": 90.0}}
+    ranks = average_ranks(table, ["d"])
+    assert ranks["high"] == 1.0
+    assert ranks["low"] == 2.0
+
+
+def test_print_comparison_table_smoke(capsys):
+    measured = {"m1": {"d1": (80.0, 1.0)}, "m2": {"d1": (70.0, 2.0)}}
+    paper = {"m1": {"d1": 85.0}, "m2": {"d1": 75.0}}
+    print_comparison_table("Smoke", ["d1"], measured, paper)
+    out = capsys.readouterr().out
+    assert "Smoke" in out and "80.0" in out and "[ 85.0]" in out
+
+
+def test_print_comparison_table_without_paper(capsys):
+    measured = {"m1": {"d1": (80.0, 1.0)}}
+    print_comparison_table("Smoke", ["d1"], measured, None)
+    assert "m1" in capsys.readouterr().out
+
+
+def test_save_results_writes_json(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    path = save_results("unit_test", {"m": {"d": (1.0, 0.0)}})
+    record = json.loads(path.read_text())
+    assert record["bench"] == "unit_test"
+    assert record["results"]["m"]["d"] == [1.0, 0.0]
+
+
+def test_save_results_handles_numpy_types(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    path = save_results("unit_test2", {"value": np.float64(3.5),
+                                       "array": np.arange(3)})
+    record = json.loads(path.read_text())
+    assert record["results"]["value"] == 3.5
+    assert record["results"]["array"] == [0, 1, 2]

@@ -1,0 +1,41 @@
+"""Command-line interface smoke tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_datasets_command(capsys):
+    main(["datasets", "--scale", "0.02"])
+    out = capsys.readouterr().out
+    assert "mutag" in out
+    assert "zinc" in out
+
+
+def test_pretrain_command(capsys):
+    main(["pretrain", "--method", "GraphCL", "--dataset", "MUTAG",
+          "--epochs", "1", "--scale", "0.13"])
+    out = capsys.readouterr().out
+    assert "GraphCL on MUTAG" in out
+    assert "%" in out
+
+
+def test_inspect_command(capsys):
+    main(["inspect", "--dataset", "MUTAG", "--epochs", "1",
+          "--scale", "0.13"])
+    out = capsys.readouterr().out
+    assert "semantic-node identification" in out
+
+
+def test_transfer_command(capsys):
+    main(["transfer", "--method", "GAE", "--downstream", "BACE",
+          "--epochs", "1", "--finetune-epochs", "2", "--scale", "0.05"])
+    out = capsys.readouterr().out
+    assert "ROC-AUC" in out

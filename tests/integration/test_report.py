@@ -1,0 +1,56 @@
+"""EXPERIMENTS.md report generation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import save_results
+from repro.bench.report import render_experiments_md, write_experiments_md
+
+
+@pytest.fixture
+def results_sandbox(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_render_without_results_mentions_missing(results_sandbox):
+    text = render_experiments_md()
+    assert "Table III" in text
+    assert "not found" in text
+
+
+def test_render_with_table3_results(results_sandbox):
+    from repro.bench.specs import TABLE3_DATASETS, TABLE3_METHODS
+    fake = {m: {d: (80.0 - i, 1.0) for d in TABLE3_DATASETS}
+            for i, m in enumerate(TABLE3_METHODS)}
+    save_results("table3_unsupervised", fake)
+    text = render_experiments_md()
+    assert "best measured average rank" in text
+    assert "GL" in text
+
+
+def test_render_with_fig7_results(results_sandbox):
+    save_results("fig7_visualization",
+                 {"records": [], "sgcl_mean": 0.9, "rgcl_mean": 0.6})
+    text = render_experiments_md()
+    assert "0.900" in text and "0.600" in text
+
+
+def test_write_experiments_md(results_sandbox, tmp_path):
+    path = write_experiments_md(tmp_path / "EXPERIMENTS.md")
+    assert path.exists()
+    assert path.read_text().startswith("# EXPERIMENTS")
+
+
+def test_render_with_sensitivity_curves(results_sandbox):
+    save_results("fig4_sensitivity_unsupervised",
+                 {"rho": {"0.5": 70.0, "0.9": 75.0},
+                  "tau": {"0.1": 70.0, "0.2": 74.0},
+                  "lambda_c": {"0.01": 73.0},
+                  "lambda_w": {"0.01": 73.0}})
+    text = render_experiments_md()
+    assert "measured peak" in text
+    assert "0.9" in text

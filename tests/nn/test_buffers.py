@@ -1,0 +1,71 @@
+"""Buffer (running-statistics) handling in state dicts.
+
+Regression suite for a real bug: fine-tuning restored only trainable
+parameters between downstream datasets, so BatchNorm running statistics
+drifted cumulatively and degraded every later evaluation (visible as
+Table IV's SGCL column collapsing). Buffers must round-trip through
+``state_dict``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, MLP
+from repro.tensor import Tensor
+
+
+def test_state_dict_contains_buffers(rng):
+    mlp = MLP([4, 8, 2], rng=rng, batch_norm=True)
+    keys = set(mlp.state_dict())
+    assert any(k.endswith("running_mean") for k in keys)
+    assert any(k.endswith("running_var") for k in keys)
+
+
+def test_buffers_round_trip_restores_behaviour(rng):
+    mlp = MLP([4, 8, 2], rng=rng, batch_norm=True)
+    mlp.eval()
+    x = Tensor(rng.normal(size=(8, 4)))
+    before = mlp(x).data.copy()
+    state = mlp.state_dict()
+    mlp.train()
+    for _ in range(20):
+        mlp(Tensor(rng.normal(7, 3, size=(32, 4))))  # drift running stats
+    mlp.eval()
+    drifted = mlp(x).data
+    assert not np.allclose(before, drifted)
+    mlp.load_state_dict(state)
+    assert np.allclose(mlp(x).data, before)
+
+
+def test_loaded_buffers_are_copies(rng):
+    bn = BatchNorm1d(3)
+    state = bn.state_dict()
+    bn.load_state_dict(state)
+    bn.running_mean += 5.0
+    assert np.allclose(state["running_mean"], 0.0)
+
+
+def test_missing_buffer_key_rejected(rng):
+    bn = BatchNorm1d(3)
+    state = bn.state_dict()
+    del state["running_mean"]
+    with pytest.raises(KeyError):
+        bn.load_state_dict(state)
+
+
+def test_finetune_multitask_restores_running_stats(rng):
+    """The original failure: sequential fine-tunes must not leak BN drift."""
+    from repro.data import load_dataset, scaffold_split
+    from repro.eval import finetune_multitask
+    from repro.gnn import GNNEncoder
+
+    dataset = load_dataset("BBBP", seed=0, scale=0.04)
+    encoder = GNNEncoder(dataset.num_features, 8, 2, rng=rng)
+    buffers_before = {k: v.copy() for k, v in encoder.named_buffers()}
+    splits = scaffold_split(dataset)
+    finetune_multitask(encoder, dataset, splits, epochs=2,
+                       rng=np.random.default_rng(0))
+    for key, value in encoder.named_buffers():
+        assert np.allclose(buffers_before[key], value), key

@@ -1,0 +1,87 @@
+"""Loss-function correctness against hand computations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    binary_cross_entropy_with_logits,
+    cosine_similarity_matrix,
+    cross_entropy,
+    l2_normalize,
+    mse_loss,
+)
+from repro.tensor import Tensor
+
+
+def test_cross_entropy_matches_manual(rng):
+    logits = rng.normal(size=(4, 3))
+    targets = np.array([0, 2, 1, 2])
+    loss = cross_entropy(Tensor(logits), targets)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    expected = -log_probs[np.arange(4), targets].mean()
+    assert np.isclose(loss.item(), expected)
+
+
+def test_cross_entropy_perfect_prediction_near_zero():
+    logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+    loss = cross_entropy(Tensor(logits), np.array([0, 1]))
+    assert loss.item() < 1e-6
+
+
+def test_bce_with_logits_matches_manual(rng):
+    logits = rng.normal(size=(4, 2))
+    targets = rng.integers(2, size=(4, 2)).astype(float)
+    loss = binary_cross_entropy_with_logits(Tensor(logits), targets)
+    expected = (np.logaddexp(0, logits) - logits * targets).mean()
+    assert np.isclose(loss.item(), expected)
+
+
+def test_bce_mask_excludes_missing_labels(rng):
+    logits = rng.normal(size=(3, 2))
+    targets = np.zeros((3, 2))
+    mask = np.array([[1, 0], [1, 1], [0, 0]], dtype=float)
+    loss = binary_cross_entropy_with_logits(Tensor(logits), targets,
+                                            mask=mask)
+    elementwise = np.logaddexp(0, logits) - logits * targets
+    expected = (elementwise * mask).sum() / mask.sum()
+    assert np.isclose(loss.item(), expected)
+
+
+def test_bce_all_masked_is_finite(rng):
+    logits = rng.normal(size=(2, 2))
+    loss = binary_cross_entropy_with_logits(
+        Tensor(logits), np.zeros((2, 2)), mask=np.zeros((2, 2)))
+    assert np.isfinite(loss.item())
+
+
+def test_mse_loss(rng):
+    a = rng.normal(size=(3, 2))
+    b = rng.normal(size=(3, 2))
+    assert np.isclose(mse_loss(Tensor(a), b).item(), ((a - b) ** 2).mean())
+
+
+def test_l2_normalize_unit_rows(rng):
+    x = Tensor(rng.normal(size=(5, 4)))
+    norms = np.linalg.norm(l2_normalize(x).data, axis=1)
+    assert np.allclose(norms, 1.0)
+
+
+def test_l2_normalize_zero_row_is_safe():
+    out = l2_normalize(Tensor(np.zeros((1, 3))))
+    assert np.isfinite(out.data).all()
+
+
+def test_cosine_similarity_matrix_bounds(rng):
+    a = Tensor(rng.normal(size=(4, 6)))
+    b = Tensor(rng.normal(size=(3, 6)))
+    sims = cosine_similarity_matrix(a, b).data
+    assert sims.shape == (4, 3)
+    assert (sims <= 1.0 + 1e-9).all() and (sims >= -1.0 - 1e-9).all()
+
+
+def test_cosine_self_similarity_is_one(rng):
+    a = Tensor(rng.normal(size=(3, 5)))
+    sims = cosine_similarity_matrix(a, a).data
+    assert np.allclose(np.diag(sims), 1.0)

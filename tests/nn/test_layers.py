@@ -1,0 +1,171 @@
+"""Layer semantics: shapes, gradients, train/eval behaviour, state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    Dropout,
+    Embedding,
+    Identity,
+    Linear,
+    MLP,
+    ReLU,
+    Sequential,
+)
+from repro.tensor import Tensor
+
+
+def test_linear_shape_and_formula(rng):
+    layer = Linear(4, 3, rng=rng)
+    x = rng.normal(size=(5, 4))
+    out = layer(Tensor(x))
+    assert out.shape == (5, 3)
+    assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+
+def test_linear_without_bias(rng):
+    layer = Linear(4, 3, rng=rng, bias=False)
+    assert layer.bias is None
+    assert len(layer.parameters()) == 1
+
+
+def test_linear_gradients_flow_to_weight_and_bias(rng):
+    layer = Linear(4, 3, rng=rng)
+    layer(Tensor(rng.normal(size=(5, 4)))).sum().backward()
+    assert layer.weight.grad is not None
+    assert np.allclose(layer.bias.grad, 5.0)
+
+
+def test_mlp_structure_and_forward(rng):
+    mlp = MLP([4, 8, 2], rng=rng)
+    out = mlp(Tensor(rng.normal(size=(3, 4))))
+    assert out.shape == (3, 2)
+
+
+def test_mlp_rejects_too_few_dims(rng):
+    with pytest.raises(ValueError):
+        MLP([4], rng=rng)
+
+
+def test_mlp_with_batchnorm_has_bn_parameters(rng):
+    mlp = MLP([4, 8, 2], rng=rng, batch_norm=True)
+    names = [name for name, _ in mlp.named_parameters()]
+    assert any("gamma" in n for n in names)
+
+
+def test_batchnorm_normalises_in_train_mode(rng):
+    bn = BatchNorm1d(3)
+    x = rng.normal(5.0, 3.0, size=(64, 3))
+    out = bn(Tensor(x))
+    assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-6)
+    assert np.allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_batchnorm_running_stats_update(rng):
+    bn = BatchNorm1d(2, momentum=0.5)
+    x = rng.normal(10.0, 1.0, size=(32, 2))
+    bn(Tensor(x))
+    assert bn.running_mean.mean() > 1.0
+
+
+def test_batchnorm_eval_uses_running_stats(rng):
+    bn = BatchNorm1d(2)
+    for _ in range(20):
+        bn(Tensor(rng.normal(4.0, 2.0, size=(64, 2))))
+    bn.eval()
+    x = rng.normal(4.0, 2.0, size=(16, 2))
+    out = bn(Tensor(x))
+    expected = (x - bn.running_mean) / np.sqrt(bn.running_var + bn.eps)
+    assert np.allclose(out.data, expected, atol=1e-8)
+
+
+def test_batchnorm_single_row_passthrough_in_train(rng):
+    bn = BatchNorm1d(2)
+    out = bn(Tensor(rng.normal(size=(1, 2))))
+    assert np.isfinite(out.data).all()
+
+
+def test_dropout_train_scales_and_eval_identity(rng):
+    dropout = Dropout(0.5, rng=rng)
+    x = Tensor(np.ones((100, 10)))
+    out = dropout(x)
+    kept = out.data[out.data != 0]
+    assert np.allclose(kept, 2.0)  # inverted dropout scaling
+    dropout.eval()
+    assert np.allclose(dropout(x).data, 1.0)
+
+
+def test_dropout_zero_probability_is_identity(rng):
+    dropout = Dropout(0.0, rng=rng)
+    x = Tensor(rng.normal(size=(5, 3)))
+    assert dropout(x) is x
+
+
+def test_dropout_rejects_invalid_probability(rng):
+    with pytest.raises(ValueError):
+        Dropout(1.0, rng=rng)
+
+
+def test_embedding_lookup_and_bounds(rng):
+    table = Embedding(10, 4, rng=rng)
+    out = table(np.array([0, 3, 9]))
+    assert out.shape == (3, 4)
+    with pytest.raises(IndexError):
+        table(np.array([10]))
+
+
+def test_sequential_order_and_len(rng):
+    seq = Sequential(Linear(4, 4, rng=rng), ReLU(), Identity())
+    assert len(seq) == 3
+    out = seq(Tensor(rng.normal(size=(2, 4))))
+    assert (out.data >= 0).all()
+
+
+def test_state_dict_roundtrip(rng):
+    a = MLP([4, 8, 2], rng=rng, batch_norm=True)
+    b = MLP([4, 8, 2], rng=np.random.default_rng(999), batch_norm=True)
+    b.load_state_dict(a.state_dict())
+    x = Tensor(rng.normal(size=(3, 4)))
+    a.eval()
+    b.eval()
+    assert np.allclose(a(x).data, b(x).data)
+
+
+def test_state_dict_rejects_mismatched_keys(rng):
+    a = Linear(4, 3, rng=rng)
+    with pytest.raises(KeyError):
+        a.load_state_dict({"weight": np.zeros((4, 3))})
+
+
+def test_state_dict_rejects_mismatched_shape(rng):
+    a = Linear(4, 3, rng=rng)
+    state = a.state_dict()
+    state["weight"] = np.zeros((2, 2))
+    with pytest.raises(ValueError):
+        a.load_state_dict(state)
+
+
+def test_train_eval_propagates_to_submodules(rng):
+    mlp = MLP([4, 8, 2], rng=rng, batch_norm=True)
+    mlp.eval()
+    assert all(not m.training for m in mlp.modules())
+    mlp.train()
+    assert all(m.training for m in mlp.modules())
+
+
+def test_weight_norm_positive_and_zero_grads(rng):
+    mlp = MLP([4, 8, 2], rng=rng)
+    norm = mlp.weight_norm()
+    assert norm.item() > 0
+    norm.backward()
+    assert mlp.net[0].weight.grad is not None
+    mlp.zero_grad()
+    assert mlp.net[0].weight.grad is None
+
+
+def test_num_parameters_counts_everything(rng):
+    layer = Linear(4, 3, rng=rng)
+    assert layer.num_parameters() == 4 * 3 + 3

@@ -1,0 +1,85 @@
+"""Optimiser behaviour: convergence on convex toys, weight decay, momentum."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, Parameter
+
+
+def quadratic_loss(param: Parameter, target: np.ndarray):
+    diff = param - target
+    return (diff * diff).sum()
+
+
+@pytest.mark.parametrize("optimizer_cls,kwargs", [
+    (SGD, {"lr": 0.1}),
+    (SGD, {"lr": 0.05, "momentum": 0.9}),
+    (Adam, {"lr": 0.1}),
+])
+def test_converges_on_quadratic(optimizer_cls, kwargs, rng):
+    target = rng.normal(size=5)
+    param = Parameter(np.zeros(5))
+    optimizer = optimizer_cls([param], **kwargs)
+    for _ in range(200):
+        loss = quadratic_loss(param, target)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    assert np.allclose(param.data, target, atol=1e-2)
+
+
+def test_weight_decay_shrinks_parameters():
+    param = Parameter(np.ones(3))
+    optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+    # Zero loss gradient: only decay acts.
+    (param * 0.0).sum().backward()
+    optimizer.step()
+    assert (np.abs(param.data) < 1.0).all()
+
+
+def test_adam_weight_decay():
+    param = Parameter(np.full(3, 10.0))
+    optimizer = Adam([param], lr=0.5, weight_decay=1.0)
+    for _ in range(50):
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+    assert (np.abs(param.data) < 10.0).all()
+
+
+def test_step_skips_parameters_without_grad():
+    used = Parameter(np.ones(2))
+    unused = Parameter(np.ones(2))
+    optimizer = SGD([used, unused], lr=0.1)
+    (used * 2.0).sum().backward()
+    optimizer.step()
+    assert np.allclose(unused.data, 1.0)
+    assert not np.allclose(used.data, 1.0)
+
+
+def test_zero_grad_clears_all():
+    param = Parameter(np.ones(2))
+    optimizer = SGD([param], lr=0.1)
+    (param * 2.0).sum().backward()
+    optimizer.zero_grad()
+    assert param.grad is None
+
+
+def test_empty_parameter_list_rejected():
+    with pytest.raises(ValueError):
+        SGD([], lr=0.1)
+
+
+def test_momentum_accelerates_along_consistent_gradient():
+    plain = Parameter(np.zeros(1))
+    momentum = Parameter(np.zeros(1))
+    opt_plain = SGD([plain], lr=0.01)
+    opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+    for _ in range(10):
+        for param, opt in [(plain, opt_plain), (momentum, opt_momentum)]:
+            opt.zero_grad()
+            (param * -1.0).sum().backward()  # constant gradient −1
+            opt.step()
+    assert momentum.data[0] > plain.data[0]

@@ -1,0 +1,71 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    CosineAnnealingLR,
+    Parameter,
+    StepLR,
+    WarmupLR,
+)
+
+
+def _optimizer(lr=0.1):
+    return Adam([Parameter(np.zeros(2))], lr=lr)
+
+
+def test_step_lr_decays_at_boundaries():
+    optimizer = _optimizer(0.1)
+    scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+    rates = [scheduler.step() for _ in range(4)]
+    assert rates == pytest.approx([0.1, 0.05, 0.05, 0.025])
+
+
+def test_step_lr_validation():
+    with pytest.raises(ValueError):
+        StepLR(_optimizer(), step_size=0)
+
+
+def test_cosine_lr_endpoints():
+    optimizer = _optimizer(1.0)
+    scheduler = CosineAnnealingLR(optimizer, t_max=10, eta_min=0.1)
+    rates = [scheduler.step() for _ in range(10)]
+    assert rates[0] < 1.0
+    assert rates[-1] == pytest.approx(0.1)
+    assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+def test_cosine_lr_clamps_past_t_max():
+    optimizer = _optimizer(1.0)
+    scheduler = CosineAnnealingLR(optimizer, t_max=2, eta_min=0.0)
+    for _ in range(5):
+        last = scheduler.step()
+    assert last == pytest.approx(0.0)
+
+
+def test_warmup_then_constant():
+    optimizer = _optimizer(0.8)
+    scheduler = WarmupLR(optimizer, warmup_epochs=4)
+    rates = [scheduler.step() for _ in range(6)]
+    assert rates[:4] == pytest.approx([0.2, 0.4, 0.6, 0.8])
+    assert rates[4:] == pytest.approx([0.8, 0.8])
+
+
+def test_warmup_then_cosine():
+    optimizer = _optimizer(1.0)
+    inner = CosineAnnealingLR(optimizer, t_max=4, eta_min=0.0)
+    scheduler = WarmupLR(optimizer, warmup_epochs=2, after=inner)
+    rates = [scheduler.step() for _ in range(6)]
+    assert rates[0] == pytest.approx(0.5)
+    assert rates[1] == pytest.approx(1.0)
+    assert rates[-1] == pytest.approx(0.0)
+
+
+def test_scheduler_updates_optimizer_lr():
+    optimizer = _optimizer(0.1)
+    StepLR(optimizer, step_size=1, gamma=0.1).step()
+    assert optimizer.lr == pytest.approx(0.01)

@@ -1,0 +1,172 @@
+"""Segment/gather kernels: correctness vs naive loops, gradients, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import (
+    Tensor,
+    gather,
+    segment_count,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+
+from _helpers import numerical_gradient
+
+
+def naive_segment_sum(values, index, num_segments):
+    out = np.zeros((num_segments,) + values.shape[1:])
+    for i, seg in enumerate(index):
+        out[seg] += values[i]
+    return out
+
+
+def test_segment_sum_matches_naive(rng):
+    values = rng.normal(size=(10, 3))
+    index = rng.integers(4, size=10)
+    out = segment_sum(Tensor(values), index, 4)
+    assert np.allclose(out.data, naive_segment_sum(values, index, 4))
+
+
+def test_segment_sum_empty_segment_is_zero(rng):
+    values = rng.normal(size=(3, 2))
+    index = np.array([0, 0, 2])
+    out = segment_sum(Tensor(values), index, 4)
+    assert np.allclose(out.data[1], 0.0)
+    assert np.allclose(out.data[3], 0.0)
+
+
+def test_segment_sum_gradient(rng):
+    values0 = rng.normal(size=(6, 2))
+    index = np.array([0, 1, 0, 2, 1, 0])
+
+    def fn(arr):
+        return float((naive_segment_sum(arr, index, 3) ** 2).sum())
+
+    values = Tensor(values0.copy(), requires_grad=True)
+    (segment_sum(values, index, 3) ** 2.0).sum().backward()
+    numeric = numerical_gradient(fn, values0.copy())
+    assert np.allclose(values.grad, numeric, atol=1e-6)
+
+
+def test_segment_mean_matches_naive(rng):
+    values = rng.normal(size=(8, 2))
+    index = np.array([0, 0, 1, 1, 1, 2, 2, 2])
+    out = segment_mean(Tensor(values), index, 3)
+    for seg in range(3):
+        assert np.allclose(out.data[seg], values[index == seg].mean(axis=0))
+
+
+def test_segment_mean_empty_segment(rng):
+    out = segment_mean(Tensor(rng.normal(size=(2, 2))), np.array([0, 0]), 2)
+    assert np.allclose(out.data[1], 0.0)
+
+
+def test_segment_max_matches_naive(rng):
+    values = rng.normal(size=(8, 2))
+    index = np.array([0, 0, 1, 1, 1, 2, 2, 2])
+    out = segment_max(Tensor(values), index, 3)
+    for seg in range(3):
+        assert np.allclose(out.data[seg], values[index == seg].max(axis=0))
+
+
+def test_segment_max_empty_fill():
+    out = segment_max(Tensor(np.ones((1, 2))), np.array([0]), 3, fill=-7.0)
+    assert np.allclose(out.data[1], -7.0)
+
+
+def test_segment_max_gradient_routes_to_argmax():
+    values = Tensor(np.array([[1.0], [5.0], [2.0]]), requires_grad=True)
+    index = np.array([0, 0, 0])
+    segment_max(values, index, 1).sum().backward()
+    assert np.allclose(values.grad, [[0.0], [1.0], [0.0]])
+
+
+def test_segment_max_gradient_splits_ties():
+    values = Tensor(np.array([[3.0], [3.0]]), requires_grad=True)
+    segment_max(values, np.array([0, 0]), 1).sum().backward()
+    assert np.allclose(values.grad, [[0.5], [0.5]])
+
+
+def test_gather_and_gradient(rng):
+    values0 = rng.normal(size=(4, 2))
+    index = np.array([1, 1, 3])
+    values = Tensor(values0.copy(), requires_grad=True)
+    out = gather(values, index)
+    assert np.allclose(out.data, values0[index])
+    out.sum().backward()
+    expected = np.zeros_like(values0)
+    np.add.at(expected, index, 1.0)
+    assert np.allclose(values.grad, expected)
+
+
+def test_gather_rejects_2d_index(rng):
+    with pytest.raises(ValueError):
+        gather(Tensor(rng.normal(size=(3, 2))), np.zeros((2, 2), dtype=int))
+
+
+def test_segment_count():
+    assert segment_count(np.array([0, 0, 2]), 4).tolist() == [2, 0, 1, 0]
+
+
+def test_segment_softmax_sums_to_one_per_segment(rng):
+    values = Tensor(rng.normal(size=12))
+    index = np.repeat(np.arange(3), 4)
+    out = segment_softmax(values, index, 3)
+    for seg in range(3):
+        assert np.isclose(out.data[index == seg].sum(), 1.0)
+
+
+def test_segment_softmax_matches_dense_softmax(rng):
+    values = rng.normal(size=4)
+    out = segment_softmax(Tensor(values), np.zeros(4, dtype=int), 1)
+    expected = np.exp(values - values.max())
+    expected /= expected.sum()
+    assert np.allclose(out.data, expected, atol=1e-12)
+
+
+def test_segment_softmax_gradient(rng):
+    values0 = rng.normal(size=6)
+    index = np.array([0, 0, 0, 1, 1, 1])
+    weights = rng.normal(size=6)
+
+    def fn(arr):
+        out = np.zeros(6)
+        for seg in range(2):
+            mask = index == seg
+            e = np.exp(arr[mask] - arr[mask].max())
+            out[mask] = e / e.sum()
+        return float((out * weights).sum())
+
+    values = Tensor(values0.copy(), requires_grad=True)
+    (segment_softmax(values, index, 2) * Tensor(weights)).sum().backward()
+    numeric = numerical_gradient(fn, values0.copy())
+    assert np.allclose(values.grad, numeric, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 30), st.integers(1, 6), st.integers(0, 999))
+def test_segment_sum_then_total_equals_full_sum(n, segments, seed):
+    """Property: summing the segment sums recovers the total sum."""
+    local = np.random.default_rng(seed)
+    values = local.normal(size=(n, 2))
+    index = local.integers(segments, size=n)
+    out = segment_sum(Tensor(values), index, segments)
+    assert np.allclose(out.data.sum(axis=0), values.sum(axis=0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 20), st.integers(0, 999))
+def test_gather_inverse_of_segment_one_hot(n, seed):
+    """Property: gather(segment_sum(x, id, n), id) == x when ids are unique."""
+    local = np.random.default_rng(seed)
+    values = local.normal(size=(n, 3))
+    index = local.permutation(n)
+    out = gather(segment_sum(Tensor(values), index, n), index)
+    assert np.allclose(out.data, values)

@@ -1,0 +1,214 @@
+"""Gradient checks and semantics of the autodiff primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, concatenate, no_grad, stack, where
+
+from _helpers import numerical_gradient
+
+
+def check_gradient(build, shape, rng, atol=1e-6):
+    """Compare autodiff gradient of ``build(Tensor)`` with finite differences."""
+    x0 = rng.normal(size=shape)
+    x = Tensor(x0.copy(), requires_grad=True)
+    build(x).backward()
+    numeric = numerical_gradient(lambda arr: float(build(Tensor(arr)).data),
+                                 x0.copy())
+    assert np.allclose(x.grad, numeric, atol=atol), \
+        f"max err {np.abs(x.grad - numeric).max()}"
+
+
+UNARY_OPS = {
+    "exp": lambda x: x.exp().sum(),
+    "log_shifted": lambda x: (x * x + 1.0).log().sum(),
+    "sqrt_shifted": lambda x: (x * x + 1.0).sqrt().sum(),
+    "sigmoid": lambda x: x.sigmoid().sum(),
+    "tanh": lambda x: x.tanh().sum(),
+    "softplus": lambda x: x.softplus().sum(),
+    "relu": lambda x: (x + 0.05).relu().sum(),
+    "leaky_relu": lambda x: (x + 0.05).leaky_relu(0.1).sum(),
+    "abs": lambda x: (x + 0.05).abs().sum(),
+    "neg": lambda x: (-x).sum(),
+    "pow3": lambda x: (x ** 3.0).sum(),
+    "mean": lambda x: x.mean(),
+    "mean_axis": lambda x: (x.mean(axis=0) ** 2.0).sum(),
+    "sum_axis_keep": lambda x: (x.sum(axis=1, keepdims=True) ** 2.0).sum(),
+    "max_axis": lambda x: x.max(axis=1).sum(),
+    "norm": lambda x: x.norm(),
+    "log_softmax": lambda x: (x.log_softmax(axis=1) * 0.5).sum(),
+    "softmax": lambda x: (x.softmax(axis=1) ** 2.0).sum(),
+    "clip": lambda x: x.clip(-0.5, 0.5).sum(),
+    "transpose": lambda x: (x.T @ x).sum(),
+    "reshape": lambda x: (x.reshape(-1) ** 2.0).sum(),
+    "getitem_row": lambda x: (x[1] ** 2.0).sum(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(UNARY_OPS))
+def test_unary_gradients(name, rng):
+    check_gradient(UNARY_OPS[name], (3, 4), rng)
+
+
+BINARY_OPS = {
+    "add": lambda a, b: (a + b).sum(),
+    "sub": lambda a, b: (a - b).sum(),
+    "mul": lambda a, b: (a * b).sum(),
+    "div": lambda a, b: (a / (b * b + 1.0)).sum(),
+    "matmul": lambda a, b: (a @ b.T).sum(),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BINARY_OPS))
+@pytest.mark.parametrize("side", [0, 1])
+def test_binary_gradients(name, side, rng):
+    other = rng.normal(size=(3, 4))
+
+    def build(x):
+        operands = [x, Tensor(other)] if side == 0 else [Tensor(other), x]
+        return BINARY_OPS[name](*operands)
+
+    check_gradient(build, (3, 4), rng)
+
+
+def test_broadcast_add_gradient(rng):
+    row = rng.normal(size=4)
+
+    def build(x):
+        return (x + Tensor(row)).sum()
+
+    check_gradient(build, (3, 4), rng)
+
+
+def test_broadcast_reduces_gradient_to_row_shape(rng):
+    row = Tensor(rng.normal(size=4), requires_grad=True)
+    x = Tensor(rng.normal(size=(3, 4)))
+    (x * row).sum().backward()
+    assert row.grad.shape == (4,)
+    assert np.allclose(row.grad, x.data.sum(axis=0))
+
+
+def test_scalar_broadcasting(rng):
+    x = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+    (2.5 * x + 1.0).sum().backward()
+    assert np.allclose(x.grad, 2.5)
+
+
+def test_matmul_vector_cases(rng):
+    a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    v = Tensor(rng.normal(size=4), requires_grad=True)
+    (a @ v).sum().backward()
+    assert a.grad.shape == (3, 4)
+    assert v.grad.shape == (4,)
+    u = Tensor(rng.normal(size=3), requires_grad=True)
+    w = Tensor(rng.normal(size=3), requires_grad=True)
+    (u @ w).backward()
+    assert np.allclose(u.grad, w.data)
+
+
+def test_matmul_rejects_3d(rng):
+    a = Tensor(rng.normal(size=(2, 3, 4)))
+    with pytest.raises(ValueError):
+        a @ a
+
+
+def test_gradient_accumulates_across_uses(rng):
+    x = Tensor(rng.normal(size=3), requires_grad=True)
+    ((x * 2.0).sum() + (x * 3.0).sum()).backward()
+    assert np.allclose(x.grad, 5.0)
+
+
+def test_backward_twice_accumulates():
+    x = Tensor(np.ones(2), requires_grad=True)
+    y = (x * 2.0).sum()
+    y.backward()
+    first = x.grad.copy()
+    x.zero_grad()
+    y2 = (x * 2.0).sum()
+    y2.backward()
+    assert np.allclose(first, x.grad)
+
+
+def test_detach_cuts_tape(rng):
+    x = Tensor(rng.normal(size=3), requires_grad=True)
+    (x.detach() * 2.0).sum().backward()
+    assert x.grad is None
+
+
+def test_no_grad_disables_taping(rng):
+    x = Tensor(rng.normal(size=3), requires_grad=True)
+    with no_grad():
+        y = (x * 2.0).sum()
+    assert not y.requires_grad
+    assert y._parents == ()
+
+
+def test_no_grad_restores_on_exception(rng):
+    from repro.tensor import is_grad_enabled
+    try:
+        with no_grad():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert is_grad_enabled()
+
+
+def test_concatenate_gradient(rng):
+    a0, b0 = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+    a = Tensor(a0, requires_grad=True)
+    b = Tensor(b0, requires_grad=True)
+    (concatenate([a, b], axis=0) ** 2.0).sum().backward()
+    assert np.allclose(a.grad, 2 * a0)
+    assert np.allclose(b.grad, 2 * b0)
+
+
+def test_stack_gradient(rng):
+    a = Tensor(rng.normal(size=3), requires_grad=True)
+    b = Tensor(rng.normal(size=3), requires_grad=True)
+    stacked = stack([a, b], axis=0)
+    assert stacked.shape == (2, 3)
+    (stacked * Tensor(np.array([[1.0], [2.0]]))).sum().backward()
+    assert np.allclose(a.grad, 1.0)
+    assert np.allclose(b.grad, 2.0)
+
+
+def test_where_gradient(rng):
+    condition = np.array([True, False, True])
+    a = Tensor(rng.normal(size=3), requires_grad=True)
+    b = Tensor(rng.normal(size=3), requires_grad=True)
+    where(condition, a, b).sum().backward()
+    assert np.allclose(a.grad, condition.astype(float))
+    assert np.allclose(b.grad, (~condition).astype(float))
+
+
+def test_softmax_rows_sum_to_one(rng):
+    x = Tensor(rng.normal(size=(5, 7)))
+    assert np.allclose(x.softmax(axis=1).data.sum(axis=1), 1.0)
+
+
+def test_log_softmax_stable_for_large_values():
+    x = Tensor(np.array([[1000.0, 1000.0, 999.0]]))
+    out = x.log_softmax(axis=1)
+    assert np.isfinite(out.data).all()
+
+
+def test_comparisons_return_ndarray(rng):
+    x = Tensor(np.array([1.0, -1.0]))
+    assert isinstance(x > 0, np.ndarray)
+    assert (x > 0).tolist() == [True, False]
+
+
+def test_int_input_promoted_to_float():
+    x = Tensor(np.array([1, 2, 3]))
+    assert x.dtype.kind == "f"
+
+
+def test_repr_mentions_requires_grad():
+    assert "requires_grad" in repr(Tensor(np.zeros(2), requires_grad=True))
+
+
+def test_item_and_len():
+    assert Tensor(np.array(3.5)).item() == 3.5
+    assert len(Tensor(np.zeros((4, 2)))) == 4

@@ -1,0 +1,97 @@
+"""Hypothesis property tests on autodiff invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor
+
+
+def _random_matrix(seed: int, rows: int, cols: int) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(rows, cols))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 999),
+       st.floats(-3, 3), st.floats(-3, 3))
+def test_gradient_is_linear_in_seed(rows, cols, seed, a, b):
+    """∇(a·f + b·g) == a·∇f + b·∇g for scalar outputs."""
+    data = _random_matrix(seed, rows, cols)
+
+    def grad_of(weight_f, weight_g):
+        x = Tensor(data.copy(), requires_grad=True)
+        out = weight_f * (x * x).sum() + weight_g * x.sum()
+        out.backward()
+        return x.grad
+
+    combined = grad_of(a, b)
+    separate = a * grad_of(1.0, 0.0) + b * grad_of(0.0, 1.0)
+    assert np.allclose(combined, separate, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 999))
+def test_sum_then_mean_consistency(rows, cols, seed):
+    data = _random_matrix(seed, rows, cols)
+    x = Tensor(data)
+    assert np.isclose(x.mean().item(), x.sum().item() / data.size)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 999), st.floats(-5, 5))
+def test_softmax_shift_invariance(n, seed, shift):
+    data = np.random.default_rng(seed).normal(size=(3, n))
+    a = Tensor(data).softmax(axis=1).data
+    b = (Tensor(data) + shift).softmax(axis=1).data
+    assert np.allclose(a, b, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 999))
+def test_double_transpose_identity(rows, cols, seed):
+    data = _random_matrix(seed, rows, cols)
+    x = Tensor(data, requires_grad=True)
+    (x.T.T * 1.0).sum().backward()
+    assert np.allclose(x.grad, 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 999))
+def test_matmul_associativity_of_values(n, seed):
+    rng = np.random.default_rng(seed)
+    a, b, c = (Tensor(rng.normal(size=(n, n))) for _ in range(3))
+    left = ((a @ b) @ c).data
+    right = (a @ (b @ c)).data
+    assert np.allclose(left, right, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 6), st.integers(0, 999))
+def test_relu_plus_negation_covers_input(n, seed):
+    """relu(x) − relu(−x) == x."""
+    data = np.random.default_rng(seed).normal(size=n)
+    x = Tensor(data)
+    reconstructed = x.relu() - (-x).relu()
+    assert np.allclose(reconstructed.data, data, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 5), st.integers(0, 999))
+def test_sigmoid_symmetry(n, seed):
+    """σ(x) + σ(−x) == 1."""
+    data = np.random.default_rng(seed).normal(size=n)
+    total = Tensor(data).sigmoid() + Tensor(-data).sigmoid()
+    assert np.allclose(total.data, 1.0, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.integers(2, 5), st.integers(0, 999))
+def test_chain_rule_through_composition(rows, cols, seed):
+    """Gradient of h(g(x)) equals manually chained Jacobians for
+    elementwise g, h."""
+    data = np.abs(_random_matrix(seed, rows, cols)) + 0.5
+    x = Tensor(data.copy(), requires_grad=True)
+    (x.log().exp()).sum().backward()  # identity composition
+    assert np.allclose(x.grad, 1.0, atol=1e-9)
