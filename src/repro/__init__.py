@@ -6,9 +6,11 @@ classifiers). See README.md for a quickstart and DESIGN.md for the system
 inventory.
 """
 
-from . import baselines, bench, core, data, eval, gnn, graph, nn, tensor
+# Defined before the submodule imports: serve.checkpoint stamps it into
+# checkpoint headers at import time.
+__version__ = "1.1.0"
 
-__version__ = "1.0.0"
+from . import baselines, bench, core, data, eval, gnn, graph, nn, serve, tensor
 
 __all__ = [
     "tensor",
@@ -20,5 +22,6 @@ __all__ = [
     "core",
     "baselines",
     "bench",
+    "serve",
     "__version__",
 ]

@@ -9,6 +9,7 @@ mini-batch ``step``.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -55,6 +56,7 @@ class BasePretrainer(Module):
         self._build(self._init_rng)
         self.optimizer = Adam(self.parameters(), lr=lr)
         self.history: list[float] = []
+        self._best_loss = float("inf")
 
     # ------------------------------------------------------------------
     def _build(self, rng: np.random.Generator) -> None:
@@ -66,9 +68,16 @@ class BasePretrainer(Module):
         raise NotImplementedError
 
     # ------------------------------------------------------------------
-    def pretrain(self, graphs: Sequence[Graph],
-                 epochs: int = 20) -> list[float]:
-        """Run the pre-training loop; returns per-epoch mean losses."""
+    def pretrain(self, graphs: Sequence[Graph], epochs: int = 20, *,
+                 checkpoint_dir: str | Path | None = None,
+                 save_every: int | None = None) -> list[float]:
+        """Run the pre-training loop; returns per-epoch mean losses.
+
+        ``checkpoint_dir``/``save_every`` mirror
+        :meth:`repro.core.SGCLTrainer.pretrain`: best-loss epochs go to
+        ``<dir>/best.npz``, every ``save_every``-th to
+        ``<dir>/epoch-NNNN.npz``.
+        """
         self.train()
         for _ in range(epochs):
             losses = []
@@ -83,4 +92,24 @@ class BasePretrainer(Module):
                 self.optimizer.step()
                 losses.append(loss.item())
             self.history.append(float(np.mean(losses)) if losses else 0.0)
+            if checkpoint_dir is not None:
+                self._checkpoint_epoch(Path(checkpoint_dir), save_every)
         return self.history
+
+    def _checkpoint_epoch(self, directory: Path,
+                          save_every: int | None) -> None:
+        epoch = len(self.history)
+        if save_every and epoch % save_every == 0:
+            self.save_checkpoint(directory / f"epoch-{epoch:04d}.npz")
+        if self.history[-1] < self._best_loss:
+            self._best_loss = self.history[-1]
+            self.save_checkpoint(directory / "best.npz")
+
+    def save_checkpoint(self, path: str | Path,
+                        metadata: dict | None = None) -> Path:
+        """Write the full pretrainer state (encoder + heads + optimizer)."""
+        from ..serve.checkpoint import save_checkpoint
+
+        meta = {"method": type(self).__name__, "history": self.history}
+        return save_checkpoint(path, self, optimizer=self.optimizer,
+                               metadata={**meta, **(metadata or {})})

@@ -45,8 +45,11 @@ class _SGCLAdapter:
     def model(self):
         return self.trainer.model
 
-    def pretrain(self, graphs, epochs: int = 20):
-        return self.trainer.pretrain(graphs, epochs=epochs)
+    def pretrain(self, graphs, epochs: int = 20, **kwargs):
+        return self.trainer.pretrain(graphs, epochs=epochs, **kwargs)
+
+    def save_checkpoint(self, path, metadata: dict | None = None):
+        return self.trainer.save_checkpoint(path, metadata=metadata)
 
 
 def _sgcl_variant(**fixed):

@@ -28,6 +28,7 @@ from ..data import (
     scaffold_split,
     train_test_split,
 )
+from ..data.io import atomic_write
 from ..eval import (
     cross_validated_accuracy,
     embed_dataset,
@@ -212,14 +213,19 @@ def print_comparison_table(title: str, datasets: list[str],
 
 
 def save_results(name: str, payload: dict) -> Path:
-    """Write one bench's results to ``results/<name>.json`` (with metadata)."""
+    """Write one bench's results to ``results/<name>.json`` (with metadata).
+
+    The write is atomic (temp file + rename) so concurrent bench runs can
+    never leave a truncated JSON file behind.
+    """
     path = results_dir() / f"{name}.json"
     record = {
         "bench": name,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "results": payload,
     }
-    path.write_text(json.dumps(record, indent=2, default=_jsonify))
+    with atomic_write(path) as tmp:
+        tmp.write_text(json.dumps(record, indent=2, default=_jsonify))
     return path
 
 

@@ -10,25 +10,42 @@ Commands
     Pre-train on ZincLike and fine-tune on a MoleculeNet-style task.
 ``inspect``
     Print per-node Lipschitz constants vs planted ground truth.
+``save``
+    Pre-train a method and write a serving checkpoint.
+``embed``
+    Serve embeddings of a dataset from a checkpoint (cached inference).
 
 Examples
 --------
 ::
 
-    python -m repro datasets
+    python -m repro datasets --json
     python -m repro pretrain --method SGCL --dataset MUTAG --epochs 5
     python -m repro transfer --method SGCL --downstream BBBP
     python -m repro inspect --dataset PROTEINS
+    python -m repro save --method SGCL --dataset MUTAG --out ckpt/sgcl.npz
+    python -m repro embed --checkpoint ckpt/sgcl.npz --dataset MUTAG \
+        --out embeddings.npz --stats
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+
+from . import __version__
 
 
 def _cmd_datasets(args: argparse.Namespace) -> None:
     from .data import available_datasets, load_dataset
 
+    if args.json:
+        payload = {}
+        for name in available_datasets():
+            dataset = load_dataset(name, seed=0, scale=args.scale)
+            payload[name] = {**dataset.statistics(), "task": dataset.task}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
     print(f"{'name':<18}{'graphs':>8}{'avg nodes':>11}{'avg edges':>11}"
           f"{'classes':>9}{'task':>16}")
     for name in available_datasets():
@@ -79,13 +96,68 @@ def _cmd_inspect(args: argparse.Namespace) -> None:
           f"{auc:.3f}")
 
 
+def _cmd_save(args: argparse.Namespace) -> None:
+    from .baselines import make_method
+    from .data import load_dataset
+
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    model = make_method(args.method, dataset.num_features, seed=args.seed)
+    model.pretrain(dataset.graphs, epochs=args.epochs)
+    path = model.save_checkpoint(
+        args.out, metadata={"cli_method": args.method,
+                            "cli_dataset": args.dataset,
+                            "cli_epochs": args.epochs,
+                            "cli_seed": args.seed})
+    print(f"saved {args.method} pre-trained on {args.dataset} "
+          f"({args.epochs} epoch(s)) to {path}")
+
+
+def _cmd_embed(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from .data import load_dataset
+    from .data.io import atomic_write
+    from .serve import EmbeddingService, read_checkpoint_header
+
+    header = read_checkpoint_header(args.checkpoint)
+    service = EmbeddingService.from_checkpoint(
+        args.checkpoint, max_batch_size=args.batch_size)
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    if header["in_dim"] is not None \
+            and dataset.num_features != header["in_dim"]:
+        raise SystemExit(
+            f"checkpoint expects {header['in_dim']} node features; "
+            f"{args.dataset} has {dataset.num_features}")
+    embeddings = service.embed(dataset.graphs)
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        if out.suffix != ".npz":
+            out = out.with_suffix(".npz")
+        with atomic_write(out, suffix=".npz") as tmp:
+            np.savez_compressed(tmp, embeddings=embeddings,
+                                labels=dataset.labels())
+        print(f"wrote {embeddings.shape[0]}×{embeddings.shape[1]} "
+              f"embeddings to {out}")
+    else:
+        print(f"embedded {embeddings.shape[0]} graphs "
+              f"→ {embeddings.shape[1]}-dim")
+    if args.stats:
+        print(json.dumps(service.stats(), indent=2))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SGCL reproduction command line")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     datasets = sub.add_parser("datasets", help="list registered datasets")
     datasets.add_argument("--scale", type=float, default=0.05)
+    datasets.add_argument("--json", action="store_true",
+                          help="machine-readable statistics on stdout")
     datasets.set_defaults(fn=_cmd_datasets)
 
     pretrain = sub.add_parser("pretrain", help="unsupervised protocol")
@@ -112,6 +184,30 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--epochs", type=int, default=4)
     inspect.add_argument("--scale", type=float, default=0.08)
     inspect.set_defaults(fn=_cmd_inspect)
+
+    save = sub.add_parser("save", help="pretrain → serving checkpoint")
+    save.add_argument("--method", default="SGCL")
+    save.add_argument("--dataset", default="MUTAG")
+    save.add_argument("--epochs", type=int, default=5)
+    save.add_argument("--seed", type=int, default=0)
+    save.add_argument("--scale", type=float, default=0.1)
+    save.add_argument("--out", required=True,
+                      help="checkpoint path (.npz appended if missing)")
+    save.set_defaults(fn=_cmd_save)
+
+    embed = sub.add_parser("embed",
+                           help="checkpoint → embeddings (cached service)")
+    embed.add_argument("--checkpoint", required=True)
+    embed.add_argument("--dataset", default="MUTAG")
+    embed.add_argument("--seed", type=int, default=0)
+    embed.add_argument("--scale", type=float, default=0.1)
+    embed.add_argument("--batch-size", type=int, default=64,
+                       help="micro-batch size of the serving encoder")
+    embed.add_argument("--out", default=None,
+                       help="write embeddings + labels to this .npz")
+    embed.add_argument("--stats", action="store_true",
+                       help="print service telemetry after embedding")
+    embed.set_defaults(fn=_cmd_embed)
     return parser
 
 

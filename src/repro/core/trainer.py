@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -35,6 +36,7 @@ class SGCLTrainer:
 
     def __init__(self, in_dim: int, config: SGCLConfig | None = None):
         self.config = config or SGCLConfig()
+        self.in_dim = in_dim
         root = np.random.default_rng(self.config.seed)
         self._init_rng = np.random.default_rng(root.integers(2 ** 63))
         self._shuffle_rng = np.random.default_rng(root.integers(2 ** 63))
@@ -42,6 +44,7 @@ class SGCLTrainer:
         self.model = SGCLModel(in_dim, self.config, rng=self._init_rng)
         self.optimizer = Adam(self.model.parameters(), lr=self.config.lr)
         self.history: list[dict[str, float]] = []
+        self._best_loss = float("inf")
 
     # ------------------------------------------------------------------
     @property
@@ -50,12 +53,18 @@ class SGCLTrainer:
         return self.model.encoder
 
     # ------------------------------------------------------------------
-    def pretrain(self, graphs: Sequence[Graph],
-                 epochs: int | None = None) -> list[dict[str, float]]:
+    def pretrain(self, graphs: Sequence[Graph], epochs: int | None = None, *,
+                 checkpoint_dir: str | Path | None = None,
+                 save_every: int | None = None) -> list[dict[str, float]]:
         """Run contrastive pre-training; returns per-epoch mean stats.
 
         Batches with fewer than 2 graphs are skipped (InfoNCE needs
         negatives), matching ``drop_last`` behaviour of the reference code.
+
+        With ``checkpoint_dir`` set, the epoch with the lowest mean loss is
+        saved to ``<dir>/best.npz`` and — if ``save_every`` is given — every
+        ``save_every``-th epoch to ``<dir>/epoch-NNNN.npz`` (numbered over
+        the trainer's lifetime, so resumed runs continue the sequence).
         """
         epochs = epochs if epochs is not None else self.config.epochs
         self.model.train()
@@ -75,4 +84,61 @@ class SGCLTrainer:
             summary = {key: float(np.mean(values))
                        for key, values in epoch_stats.items()}
             self.history.append(summary)
+            if checkpoint_dir is not None:
+                self._checkpoint_epoch(Path(checkpoint_dir), summary,
+                                       save_every)
         return self.history
+
+    def _checkpoint_epoch(self, directory: Path, summary: dict[str, float],
+                          save_every: int | None) -> None:
+        epoch = len(self.history)
+        if save_every and epoch % save_every == 0:
+            self.save_checkpoint(directory / f"epoch-{epoch:04d}.npz")
+        loss = summary.get("loss", float("inf"))
+        if loss < self._best_loss:
+            self._best_loss = loss
+            self.save_checkpoint(directory / "best.npz")
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.serve.checkpoint for the bundle format)
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path: str | Path,
+                        metadata: dict | None = None) -> Path:
+        """Write model + config + optimizer + RNG streams to ``path``."""
+        from ..serve.checkpoint import save_checkpoint
+
+        rng_state = {
+            "shuffle": self._shuffle_rng.bit_generator.state,
+            "augment": self._augment_rng.bit_generator.state,
+        }
+        return save_checkpoint(
+            path, self.model, config=self.config, optimizer=self.optimizer,
+            rng_state=rng_state,
+            metadata={"history": self.history, **(metadata or {})})
+
+    @classmethod
+    def from_checkpoint(cls, path: str | Path) -> "SGCLTrainer":
+        """Rebuild a trainer whose continued ``pretrain`` is bit-identical
+        to one that never stopped (parameters, optimizer moments and RNG
+        streams are all restored)."""
+        from ..serve.checkpoint import load_checkpoint
+
+        checkpoint = load_checkpoint(path)
+        config = checkpoint.config
+        if config is None or checkpoint.in_dim is None:
+            raise ValueError(
+                "checkpoint lacks an SGCLConfig/in_dim; it was not written "
+                "by SGCLTrainer.save_checkpoint")
+        trainer = cls(checkpoint.in_dim, config)
+        checkpoint.restore(trainer.model, trainer.optimizer)
+        if checkpoint.rng_state is not None:
+            trainer._shuffle_rng.bit_generator.state = \
+                checkpoint.rng_state["shuffle"]
+            trainer._augment_rng.bit_generator.state = \
+                checkpoint.rng_state["augment"]
+        history = checkpoint.metadata.get("history", [])
+        trainer.history = list(history)
+        losses = [s.get("loss") for s in trainer.history
+                  if s.get("loss") is not None]
+        trainer._best_loss = min(losses, default=float("inf"))
+        return trainer

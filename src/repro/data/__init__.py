@@ -17,7 +17,7 @@ from .molecules import (
     generate_moleculenet_like,
     generate_zinc_like,
 )
-from .io import load_saved_dataset, save_dataset
+from .io import atomic_write, load_saved_dataset, save_dataset
 from .superpixel import DIGIT_STROKES, digit_graph, generate_superpixel_dataset
 
 __all__ = [
@@ -41,6 +41,7 @@ __all__ = [
     "generate_zinc_like",
     "generate_moleculenet_like",
     "save_dataset",
+    "atomic_write",
     "load_saved_dataset",
     "DIGIT_STROKES",
     "digit_graph",

@@ -10,6 +10,8 @@ archive plus a small JSON header.
 from __future__ import annotations
 
 import json
+import os
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -17,12 +19,32 @@ import numpy as np
 from ..graph import Graph
 from .dataset import GraphDataset
 
-__all__ = ["save_dataset", "load_saved_dataset"]
+__all__ = ["save_dataset", "load_saved_dataset", "atomic_write"]
 
 _FORMAT_VERSION = 1
 # Metadata values that are numpy arrays are persisted; everything else must
 # be JSON-encodable.
 _META_ARRAY_PREFIX = "metaarr"
+
+
+@contextmanager
+def atomic_write(path: str | Path, suffix: str = ""):
+    """Yield a temporary sibling path; rename onto ``path`` on success.
+
+    Creates parent directories, writes to a pid-unique temporary file and
+    atomically renames it into place, so concurrent writers can never leave a
+    truncated file at ``path``. ``suffix`` keeps writers that key on the file
+    extension happy (``np.savez`` appends ``.npz`` unless already present).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp{suffix}")
+    try:
+        yield tmp
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
 def save_dataset(dataset: GraphDataset, path: str | Path) -> Path:
@@ -59,7 +81,8 @@ def save_dataset(dataset: GraphDataset, path: str | Path) -> Path:
         header["graphs"].append(entry)
     arrays["__header__"] = np.frombuffer(
         json.dumps(header).encode(), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+    with atomic_write(path, suffix=".npz") as tmp:
+        np.savez_compressed(tmp, **arrays)
     return path
 
 

@@ -41,8 +41,22 @@ __all__ = [
 
 
 def embed_dataset(encoder: GNNEncoder, dataset, batch_size: int = 128,
-                  **embed_kwargs) -> np.ndarray:
-    """Frozen graph-level embeddings of every graph (eval mode, no grad)."""
+                  service=None, **embed_kwargs) -> np.ndarray:
+    """Frozen graph-level embeddings of every graph (eval mode, no grad).
+
+    Passing a :class:`repro.serve.EmbeddingService` routes the request
+    through its content-addressed cache, so repeated embeddings of the same
+    graphs (CV folds, sweeps over downstream settings) skip the encoder
+    entirely; ``encoder`` is ignored in that case and custom
+    ``embed_kwargs`` are rejected because cached rows would not reflect
+    them.
+    """
+    if service is not None:
+        if embed_kwargs:
+            raise ValueError(
+                "embed_kwargs are incompatible with the embedding cache; "
+                "call the encoder directly instead")
+        return service.embed(dataset)
     encoder.eval()
     chunks = []
     with no_grad():

@@ -55,13 +55,43 @@ class GNNEncoder(Module):
             raise ValueError(f"jk must be 'last' or 'cat', got {jk!r}")
         self.conv_name = conv
         self.jk = jk
+        self.in_dim = in_dim
         self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.batch_norm = batch_norm
         self.pooling_name = pooling
         conv_cls = CONV_TYPES[conv]
         dims = [in_dim] + [hidden_dim] * num_layers
         conv_kwargs = {"batch_norm": batch_norm} if conv == "gin" else {}
         self.convs = [conv_cls(d_in, d_out, rng=rng, **conv_kwargs)
                       for d_in, d_out in zip(dims[:-1], dims[1:])]
+
+    # ------------------------------------------------------------------
+    def spec(self) -> dict:
+        """Constructor arguments needed to rebuild this encoder.
+
+        Stored in checkpoint headers so a serving process can reconstruct
+        the architecture without the original training script.
+        """
+        return {
+            "in_dim": self.in_dim,
+            "hidden_dim": self.hidden_dim,
+            "num_layers": self.num_layers,
+            "conv": self.conv_name,
+            "pooling": self.pooling_name,
+            "jk": self.jk,
+            "batch_norm": self.batch_norm,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict, *,
+                  rng: np.random.Generator | None = None) -> "GNNEncoder":
+        """Rebuild an encoder from :meth:`spec` output (weights random until
+        a ``state_dict`` is loaded)."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        return cls(spec["in_dim"], spec["hidden_dim"], spec["num_layers"],
+                   rng=rng, conv=spec["conv"], pooling=spec["pooling"],
+                   jk=spec["jk"], batch_norm=spec["batch_norm"])
 
     # ------------------------------------------------------------------
     @property

@@ -25,6 +25,40 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot the optimiser's slot variables (copies).
+
+        The base optimiser is stateless; subclasses with moment/velocity
+        buffers extend this so a checkpointed training run resumes with
+        bit-identical updates.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._load_slots(state, {})
+
+    def _load_slots(self, state: dict[str, np.ndarray],
+                    slots: dict[str, list[np.ndarray]]) -> None:
+        """Copy ``state`` entries named ``<slot><index>`` into ``slots``."""
+        expected = {f"{name}{i}" for name, buffers in slots.items()
+                    for i in range(len(buffers))}
+        extra_keys = set(state) - expected - {"step"}
+        missing_keys = expected - set(state)
+        if extra_keys or missing_keys:
+            raise KeyError(
+                f"optimizer state mismatch: missing={sorted(missing_keys)}, "
+                f"unexpected={sorted(extra_keys)}")
+        for name, buffers in slots.items():
+            for i, buffer in enumerate(buffers):
+                value = state[f"{name}{i}"]
+                if buffer.shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}{i}: "
+                        f"{buffer.shape} vs {value.shape}")
+                buffer[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -48,6 +82,13 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data -= self.lr * grad
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"velocity{i}": v.copy()
+                for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._load_slots(state, {"velocity": self._velocity})
 
 
 class Adam(Optimizer):
@@ -81,3 +122,16 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {
+            "step": np.array(self._step, dtype=np.int64)}
+        state.update({f"m{i}": m.copy() for i, m in enumerate(self._m)})
+        state.update({f"v{i}": v.copy() for i, v in enumerate(self._v)})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "step" not in state:
+            raise KeyError("Adam state requires a 'step' entry")
+        self._load_slots(state, {"m": self._m, "v": self._v})
+        self._step = int(state["step"])

@@ -1,0 +1,36 @@
+"""Serving subsystem: checkpoints, cached embedding inference, registry.
+
+Turns a pre-trained encoder into a long-lived artifact and a service:
+``save_checkpoint``/``load_checkpoint`` persist model + config + optimizer
+state to a versioned ``.npz`` bundle; :class:`EmbeddingService` answers
+``embed(graphs)`` through a content-addressed LRU cache and a micro-batching
+queue; :class:`ModelRegistry` names several checkpoints under one directory;
+:class:`Telemetry` measures all of it (hit rates, batch sizes, latency
+percentiles via ``service.stats()``).
+"""
+
+from .checkpoint import (
+    SCHEMA_VERSION,
+    Checkpoint,
+    load_checkpoint,
+    load_trainer,
+    read_checkpoint_header,
+    save_checkpoint,
+)
+from .registry import ModelRegistry
+from .service import EmbeddingService, PendingEmbedding, graph_digest
+from .telemetry import Telemetry
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint_header",
+    "load_trainer",
+    "EmbeddingService",
+    "PendingEmbedding",
+    "graph_digest",
+    "ModelRegistry",
+    "Telemetry",
+]

@@ -1,0 +1,108 @@
+"""Directory-backed named model registry for serving.
+
+One process often serves several pre-trained encoders at once — different
+methods, datasets or hyper-parameter sweeps. :class:`ModelRegistry` maps
+human-readable names to checkpoint bundles under one root directory
+(``<root>/<name>.npz``) and hands out :class:`EmbeddingService` instances on
+demand, memoising them so repeated ``get`` calls share one cache per model.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..core.config import SGCLConfig
+from ..nn import Module, Optimizer
+from .checkpoint import read_checkpoint_header, save_checkpoint
+from .service import EmbeddingService
+
+__all__ = ["ModelRegistry"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class ModelRegistry:
+    """Named checkpoints under one directory + memoised serving handles.
+
+    Parameters
+    ----------
+    root:
+        Directory holding ``<name>.npz`` bundles; created if missing.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._services: dict[str, EmbeddingService] = {}
+
+    # ------------------------------------------------------------------
+    def path(self, name: str) -> Path:
+        """Checkpoint path a model name maps to (validates the name)."""
+        if not _NAME_RE.match(name):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, '.', "
+                "'_' or '-', starting with a letter or digit")
+        return self.root / f"{name}.npz"
+
+    def __contains__(self, name: str) -> bool:
+        return self.path(name).exists()
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, model: Module, *,
+                 config: SGCLConfig | dict | None = None,
+                 optimizer: Optimizer | None = None,
+                 metadata: dict | None = None,
+                 overwrite: bool = False) -> Path:
+        """Checkpoint ``model`` under ``name`` (see :func:`save_checkpoint`)."""
+        path = self.path(name)
+        if path.exists() and not overwrite:
+            raise FileExistsError(
+                f"model {name!r} already registered at {path}; "
+                "pass overwrite=True to replace it")
+        self._services.pop(name, None)
+        return save_checkpoint(path, model, config=config,
+                               optimizer=optimizer,
+                               metadata={"name": name, **(metadata or {})})
+
+    def unregister(self, name: str) -> None:
+        """Delete a registered checkpoint (and its memoised service)."""
+        path = self.path(name)
+        if not path.exists():
+            raise KeyError(f"no registered model named {name!r}")
+        self._services.pop(name, None)
+        path.unlink()
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, **service_kwargs) -> EmbeddingService:
+        """An :class:`EmbeddingService` for ``name``.
+
+        Services are memoised per name so every caller shares one embedding
+        cache; ``service_kwargs`` (cache_size, max_batch_size, telemetry)
+        only take effect on the first call for a given name.
+        """
+        service = self._services.get(name)
+        if service is None:
+            path = self.path(name)
+            if not path.exists():
+                raise KeyError(
+                    f"no registered model named {name!r}; "
+                    f"available: {[e['name'] for e in self.list()]}")
+            service = EmbeddingService.from_checkpoint(path, **service_kwargs)
+            self._services[name] = service
+        return service
+
+    def list(self) -> list[dict]:
+        """Header summaries of every registered model, sorted by name."""
+        entries = []
+        for path in sorted(self.root.glob("*.npz")):
+            header = read_checkpoint_header(path)
+            entries.append({
+                "name": path.stem,
+                "model_class": header["model_class"],
+                "in_dim": header["in_dim"],
+                "repro_version": header["repro_version"],
+                "created": header["created"],
+                "metadata": header["metadata"],
+            })
+        return entries

@@ -1,0 +1,267 @@
+"""Cached, micro-batched embedding inference over a frozen encoder.
+
+:class:`EmbeddingService` is the serving counterpart of
+:func:`repro.eval.embed_dataset`: it owns a pre-trained encoder in eval mode
+and answers ``embed(graphs)`` requests through
+
+* a **content-addressed LRU cache** — graphs are keyed by a digest of their
+  structure and features (:func:`graph_digest`), so identical graphs are
+  embedded exactly once per cache lifetime regardless of which request or
+  dataset object they arrive in; and
+* a **micro-batching queue** — single-graph :meth:`submit` requests coalesce
+  into one disjoint-union batch (this substrate's :class:`Batch` replaces
+  padding) that runs the encoder hot path once per ``max_batch_size`` graphs
+  instead of once per request.
+
+Cached rows are stored read-only and every result is a fresh copy, so a
+caller mutating a returned array can never poison later responses. All
+traffic is measured by a :class:`Telemetry` instance exposed via
+:meth:`stats` (cache hit rate, encoder batch sizes, latency percentiles).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Iterable
+
+import numpy as np
+
+from ..gnn import GNNEncoder
+from ..graph import Batch, Graph
+from ..tensor import no_grad
+from .telemetry import Telemetry
+
+__all__ = ["EmbeddingService", "PendingEmbedding", "graph_digest"]
+
+
+def graph_digest(graph: Graph) -> str:
+    """Content hash of a graph's structure + features (labels excluded).
+
+    Two graphs with identical ``x`` and ``edge_index`` arrays share a digest,
+    so embeddings — which depend only on structure and features — can be
+    cached across datasets, folds and requests.
+    """
+    digest = hashlib.sha256()
+    for tag, array in ((b"x", graph.x), (b"e", graph.edge_index)):
+        digest.update(tag)
+        digest.update(str(array.shape).encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+class PendingEmbedding:
+    """Handle for a :meth:`EmbeddingService.submit` request.
+
+    ``result()`` flushes the service's micro-batch queue on first use if the
+    embedding has not been computed yet.
+    """
+
+    __slots__ = ("_service", "digest")
+
+    def __init__(self, service: "EmbeddingService", digest: str):
+        self._service = service
+        self.digest = digest
+
+    def result(self) -> np.ndarray:
+        return self._service._resolve(self.digest)
+
+
+class EmbeddingService:
+    """Serve graph-level embeddings from a frozen encoder.
+
+    Parameters
+    ----------
+    encoder:
+        A pre-trained :class:`GNNEncoder`; the service puts it in eval mode
+        and never trains it.
+    cache_size:
+        Maximum number of cached embeddings (LRU eviction beyond it).
+    max_batch_size:
+        Encoder forward passes never exceed this many graphs; larger requests
+        are chunked, and the :meth:`submit` queue auto-flushes at this size.
+    telemetry:
+        Optional shared :class:`Telemetry`; a private one is created if
+        omitted.
+    """
+
+    def __init__(self, encoder: GNNEncoder, *, cache_size: int = 4096,
+                 max_batch_size: int = 64,
+                 telemetry: Telemetry | None = None):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        self.encoder = encoder.eval()
+        self.cache_size = cache_size
+        self.max_batch_size = max_batch_size
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._queue: OrderedDict[str, Graph] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(cls, path, **kwargs) -> "EmbeddingService":
+        """Build a service from a checkpoint written by ``save_checkpoint``."""
+        from .checkpoint import load_checkpoint
+
+        return cls(load_checkpoint(path).build_encoder(), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_get(self, digest: str) -> np.ndarray | None:
+        row = self._cache.get(digest)
+        if row is not None:
+            self._cache.move_to_end(digest)
+        return row
+
+    def _cache_put(self, digest: str, row: np.ndarray) -> None:
+        stored = np.array(row, copy=True)
+        stored.setflags(write=False)
+        self._cache[digest] = stored
+        self._cache.move_to_end(digest)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.telemetry.increment("cache_evictions")
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Encoder hot path
+    # ------------------------------------------------------------------
+    def _encode(self, items: list[tuple[str, Graph]]
+                ) -> dict[str, np.ndarray]:
+        """Run the encoder over ``items`` in chunks; fill the cache.
+
+        Returns the freshly computed rows keyed by digest, so callers can
+        assemble results even when the request is larger than the cache.
+        """
+        computed: dict[str, np.ndarray] = {}
+        # Re-assert eval mode every pass: other code paths sharing this
+        # encoder (embed_dataset, fine-tuning helpers) toggle train mode.
+        self.encoder.eval()
+        for start in range(0, len(items), self.max_batch_size):
+            chunk = items[start:start + self.max_batch_size]
+            batch = Batch([graph for _, graph in chunk])
+            with no_grad(), self.telemetry.timer("encoder_batch_seconds"):
+                rows = self.encoder.graph_representations(batch).data
+            self.telemetry.increment("encoder_batches")
+            self.telemetry.increment("encoder_graphs", len(chunk))
+            self.telemetry.observe("encoder_batch_size", len(chunk))
+            for (digest, _), row in zip(chunk, rows):
+                self._cache_put(digest, row)
+                computed[digest] = row
+        return computed
+
+    # ------------------------------------------------------------------
+    # Request API
+    # ------------------------------------------------------------------
+    def embed(self, graphs: Iterable[Graph] | Graph) -> np.ndarray:
+        """Embeddings for ``graphs`` (one row per graph, request order).
+
+        Cache misses — deduplicated within the request — are embedded in
+        chunks of ``max_batch_size``; hits cost a dict lookup. The returned
+        array is freshly allocated and safe to mutate.
+        """
+        if isinstance(graphs, Graph):
+            graphs = [graphs]
+        graphs = list(graphs)
+        if not graphs:
+            raise ValueError("embed() requires at least one graph")
+        with self.telemetry.timer("embed_seconds"):
+            self.telemetry.increment("requests")
+            digests = [graph_digest(graph) for graph in graphs]
+            rows: list[np.ndarray | None] = [None] * len(graphs)
+            misses: OrderedDict[str, Graph] = OrderedDict()
+            for i, (digest, graph) in enumerate(zip(digests, graphs)):
+                row = self._cache_get(digest)
+                if row is None:
+                    self.telemetry.increment("cache_misses")
+                    misses.setdefault(digest, graph)
+                else:
+                    self.telemetry.increment("cache_hits")
+                    rows[i] = row
+            fresh = self._encode(list(misses.items())) if misses else {}
+            for i, digest in enumerate(digests):
+                if rows[i] is None:
+                    rows[i] = fresh[digest]
+            return np.stack(rows)
+
+    def embed_one(self, graph: Graph) -> np.ndarray:
+        """Single-graph convenience wrapper around :meth:`embed`."""
+        return self.embed([graph])[0]
+
+    # ------------------------------------------------------------------
+    def submit(self, graph: Graph) -> PendingEmbedding:
+        """Enqueue one graph for micro-batched embedding.
+
+        The queue coalesces requests until :meth:`flush` is called (or it
+        reaches ``max_batch_size``, which flushes automatically), so many
+        single-graph callers share one encoder forward pass.
+        """
+        digest = graph_digest(graph)
+        self.telemetry.increment("submitted")
+        if self._cache_get(digest) is None and digest not in self._queue:
+            self._queue[digest] = graph
+            if len(self._queue) >= self.max_batch_size:
+                self.flush()
+        return PendingEmbedding(self, digest)
+
+    def flush(self) -> None:
+        """Embed every queued graph in one coalesced pass."""
+        if not self._queue:
+            return
+        self.telemetry.increment("flushes")
+        items = list(self._queue.items())
+        self._queue.clear()
+        self._encode(items)
+
+    def _resolve(self, digest: str) -> np.ndarray:
+        row = self._cache_get(digest)
+        if row is None:
+            self.flush()
+            row = self._cache_get(digest)
+        if row is None:
+            raise KeyError(
+                "embedding was evicted before the pending request resolved; "
+                "increase cache_size")
+        return row.copy()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving statistics: cache effectiveness, batching, latency."""
+        t = self.telemetry
+        hits = t.count("cache_hits")
+        misses = t.count("cache_misses")
+        lookups = hits + misses
+        batch = t.summary("encoder_batch_size")
+        latency = t.summary("embed_seconds")
+        return {
+            "cache": {
+                "size": len(self._cache),
+                "capacity": self.cache_size,
+                "hits": int(hits),
+                "misses": int(misses),
+                "hit_rate": hits / lookups if lookups else float("nan"),
+                "evictions": int(t.count("cache_evictions")),
+            },
+            "encoder": {
+                "batches": int(t.count("encoder_batches")),
+                "graphs": int(t.count("encoder_graphs")),
+                "mean_batch_size": batch["mean"],
+            },
+            "latency": {
+                "requests": latency["count"],
+                "mean_ms": latency["mean"] * 1e3,
+                "p50_ms": latency["p50"] * 1e3,
+                "p95_ms": latency["p95"] * 1e3,
+            },
+        }

@@ -1,0 +1,58 @@
+"""Atomic file-writing tests: no truncated files, parents auto-created."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from _helpers import make_triangle
+
+from repro.data import GraphDataset, load_saved_dataset, save_dataset
+from repro.data.io import atomic_write
+
+
+def test_atomic_write_success_leaves_no_temp_files(tmp_path):
+    target = tmp_path / "out.json"
+    with atomic_write(target) as tmp:
+        tmp.write_text('{"ok": true}')
+    assert json.loads(target.read_text()) == {"ok": True}
+    assert list(tmp_path.iterdir()) == [target]
+
+
+def test_atomic_write_creates_parent_directories(tmp_path):
+    target = tmp_path / "a" / "b" / "c.json"
+    with atomic_write(target) as tmp:
+        tmp.write_text("{}")
+    assert target.exists()
+
+
+def test_failed_write_leaves_target_untouched(tmp_path):
+    target = tmp_path / "out.json"
+    target.write_text("original")
+    with pytest.raises(RuntimeError):
+        with atomic_write(target) as tmp:
+            tmp.write_text("partial garbage")
+            raise RuntimeError("simulated crash mid-write")
+    assert target.read_text() == "original"
+    assert list(tmp_path.iterdir()) == [target]
+
+
+def test_save_dataset_into_missing_directory(tmp_path, rng):
+    dataset = GraphDataset("tiny", [make_triangle(rng, y=0)], 2)
+    path = save_dataset(dataset, tmp_path / "deep" / "nested" / "tiny.npz")
+    loaded = load_saved_dataset(path)
+    assert len(loaded) == 1
+    assert np.array_equal(loaded[0].x, dataset[0].x)
+    leftovers = [p for p in path.parent.iterdir() if p != path]
+    assert leftovers == []
+
+
+def test_save_results_is_atomic(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "results"))
+    from repro.bench import save_results
+
+    path = save_results("unit_test_bench", {"score": 1.0})
+    record = json.loads(path.read_text())
+    assert record["results"] == {"score": 1.0}
+    assert [p.name for p in path.parent.iterdir()] == ["unit_test_bench.json"]

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -10,6 +13,15 @@ from repro.cli import build_parser, main
 def test_parser_rejects_missing_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
 
 
 def test_datasets_command(capsys):
@@ -39,3 +51,40 @@ def test_transfer_command(capsys):
           "--epochs", "1", "--finetune-epochs", "2", "--scale", "0.05"])
     out = capsys.readouterr().out
     assert "ROC-AUC" in out
+
+
+def test_datasets_json_flag(capsys):
+    main(["datasets", "--json", "--scale", "0.02"])
+    payload = json.loads(capsys.readouterr().out)
+    assert "mutag" in payload
+    assert payload["mutag"]["num_graphs"] > 0
+    assert payload["mutag"]["task"] == "classification"
+    assert payload["bbbp"]["task"] == "multitask"
+
+
+def test_save_then_embed_round_trip(capsys, tmp_path):
+    checkpoint = tmp_path / "ck" / "graphcl.npz"
+    main(["save", "--method", "GraphCL", "--dataset", "MUTAG",
+          "--epochs", "1", "--scale", "0.1", "--out", str(checkpoint)])
+    assert checkpoint.exists()
+    assert "saved GraphCL" in capsys.readouterr().out
+
+    out_file = tmp_path / "embeddings.npz"
+    main(["embed", "--checkpoint", str(checkpoint), "--dataset", "MUTAG",
+          "--scale", "0.1", "--out", str(out_file), "--stats"])
+    out = capsys.readouterr().out
+    assert "embeddings" in out
+    assert '"hit_rate"' in out
+    with np.load(out_file) as archive:
+        embeddings = archive["embeddings"]
+        labels = archive["labels"]
+    assert embeddings.shape[0] == labels.shape[0] > 0
+
+
+def test_embed_rejects_mismatched_features(tmp_path):
+    checkpoint = tmp_path / "gcl.npz"
+    main(["save", "--method", "GraphCL", "--dataset", "MUTAG",
+          "--epochs", "1", "--scale", "0.1", "--out", str(checkpoint)])
+    with pytest.raises(SystemExit, match="node features"):
+        main(["embed", "--checkpoint", str(checkpoint),
+              "--dataset", "PROTEINS", "--scale", "0.1"])

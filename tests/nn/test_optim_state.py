@@ -1,0 +1,93 @@
+"""Optimizer state_dict round trips: checkpointed resume is bit-exact."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, mse_loss
+from repro.tensor import Tensor
+
+
+def _make_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    model = Linear(3, 2, rng=rng)
+    x = Tensor(rng.normal(size=(8, 3)))
+    y = Tensor(rng.normal(size=(8, 2)))
+    return model, x, y
+
+
+def _step(model, optimizer, x, y):
+    loss = mse_loss(model(x), y)
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+
+
+@pytest.mark.parametrize("make_optimizer", [
+    lambda params: Adam(params, lr=0.05),
+    lambda params: SGD(params, lr=0.05, momentum=0.9),
+])
+def test_resume_matches_uninterrupted_run(make_optimizer):
+    model, x, y = _make_problem()
+    optimizer = make_optimizer(model.parameters())
+    for _ in range(3):
+        _step(model, optimizer, x, y)
+    param_snapshot = model.state_dict()
+    opt_snapshot = optimizer.state_dict()
+    for _ in range(2):
+        _step(model, optimizer, x, y)
+    uninterrupted = [p.data.copy() for p in model.parameters()]
+
+    model.load_state_dict(param_snapshot)
+    optimizer.load_state_dict(opt_snapshot)
+    for _ in range(2):
+        _step(model, optimizer, x, y)
+    resumed = [p.data.copy() for p in model.parameters()]
+    for a, b in zip(uninterrupted, resumed):
+        assert np.array_equal(a, b)
+
+
+def test_state_dict_returns_copies():
+    model, x, y = _make_problem()
+    optimizer = Adam(model.parameters())
+    _step(model, optimizer, x, y)
+    state = optimizer.state_dict()
+    state["m0"][:] = 123.0
+    assert not np.array_equal(optimizer._m[0], state["m0"])
+
+
+def test_adam_state_requires_step():
+    model, _, _ = _make_problem()
+    optimizer = Adam(model.parameters())
+    state = optimizer.state_dict()
+    del state["step"]
+    with pytest.raises(KeyError, match="step"):
+        optimizer.load_state_dict(state)
+
+
+def test_mismatched_keys_rejected():
+    model, _, _ = _make_problem()
+    optimizer = Adam(model.parameters())
+    state = optimizer.state_dict()
+    state["m99"] = np.zeros(3)
+    with pytest.raises(KeyError, match="unexpected"):
+        optimizer.load_state_dict(state)
+
+
+def test_mismatched_shapes_rejected():
+    model, _, _ = _make_problem()
+    optimizer = SGD(model.parameters(), momentum=0.9)
+    state = optimizer.state_dict()
+    first = next(iter(state))
+    state[first] = np.zeros((99, 99))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        optimizer.load_state_dict(state)
+
+
+def test_sgd_round_trip_without_momentum():
+    model, x, y = _make_problem()
+    optimizer = SGD(model.parameters(), lr=0.05)
+    _step(model, optimizer, x, y)
+    state = optimizer.state_dict()
+    optimizer.load_state_dict(state)

@@ -1,0 +1,90 @@
+"""ModelRegistry tests: directory-backed named checkpoints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from _helpers import make_triangle
+
+from repro.gnn import GNNEncoder
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "models")
+
+
+@pytest.fixture
+def encoder(rng):
+    return GNNEncoder(4, 8, 2, rng=rng)
+
+
+def test_register_get_list(registry, encoder, rng):
+    registry.register("sgcl-mutag", encoder, metadata={"dataset": "MUTAG"})
+    assert "sgcl-mutag" in registry
+    entries = registry.list()
+    assert [e["name"] for e in entries] == ["sgcl-mutag"]
+    assert entries[0]["model_class"] == "GNNEncoder"
+    assert entries[0]["metadata"]["dataset"] == "MUTAG"
+    service = registry.get("sgcl-mutag")
+    g = make_triangle(rng)
+    assert service.embed([g]).shape == (1, 8)
+
+
+def test_get_memoises_services(registry, encoder, rng):
+    registry.register("m", encoder)
+    first = registry.get("m")
+    g = make_triangle(rng)
+    first.embed([g])
+    second = registry.get("m")
+    assert second is first
+    second.embed([g])  # shared cache: no second forward pass
+    assert second.telemetry.count("encoder_graphs") == 1
+
+
+def test_multiple_models_served_side_by_side(registry, rng):
+    a = GNNEncoder(4, 8, 2, rng=np.random.default_rng(1))
+    b = GNNEncoder(4, 8, 2, rng=np.random.default_rng(2))
+    registry.register("a", a)
+    registry.register("b", b)
+    assert [e["name"] for e in registry.list()] == ["a", "b"]
+    g = make_triangle(rng)
+    assert not np.array_equal(registry.get("a").embed([g]),
+                              registry.get("b").embed([g]))
+
+
+def test_duplicate_register_requires_overwrite(registry, encoder):
+    registry.register("m", encoder)
+    with pytest.raises(FileExistsError, match="overwrite"):
+        registry.register("m", encoder)
+    registry.register("m", encoder, overwrite=True)
+
+
+def test_overwrite_drops_memoised_service(registry, rng):
+    a = GNNEncoder(4, 8, 2, rng=np.random.default_rng(1))
+    b = GNNEncoder(4, 8, 2, rng=np.random.default_rng(2))
+    registry.register("m", a)
+    g = make_triangle(rng)
+    before = registry.get("m").embed([g])
+    registry.register("m", b, overwrite=True)
+    after = registry.get("m").embed([g])
+    assert not np.array_equal(before, after)
+
+
+def test_unknown_and_invalid_names(registry):
+    with pytest.raises(KeyError, match="no registered model"):
+        registry.get("nope")
+    with pytest.raises(ValueError, match="invalid model name"):
+        registry.path("../escape")
+    with pytest.raises(ValueError, match="invalid model name"):
+        registry.path("")
+
+
+def test_unregister(registry, encoder):
+    registry.register("m", encoder)
+    registry.unregister("m")
+    assert "m" not in registry
+    assert registry.list() == []
+    with pytest.raises(KeyError):
+        registry.unregister("m")

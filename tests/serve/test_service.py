@@ -1,0 +1,181 @@
+"""EmbeddingService tests: cache correctness, micro-batching, telemetry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from _helpers import make_path, make_triangle
+
+from repro.eval import embed_dataset
+from repro.gnn import GNNEncoder
+from repro.serve import EmbeddingService, graph_digest
+
+
+@pytest.fixture
+def graphs(rng):
+    return [make_triangle(rng, y=i % 2) for i in range(5)] + \
+        [make_path(rng, n=3 + i % 4, y=i % 2) for i in range(5)]
+
+
+@pytest.fixture
+def encoder(rng):
+    return GNNEncoder(4, 8, 2, rng=rng)
+
+
+@pytest.fixture
+def service(encoder):
+    return EmbeddingService(encoder, max_batch_size=4)
+
+
+# ----------------------------------------------------------------------
+# Digest
+# ----------------------------------------------------------------------
+def test_digest_ignores_labels_but_not_content(rng):
+    g = make_triangle(rng)
+    relabelled = g.copy()
+    relabelled.y = 99
+    assert graph_digest(g) == graph_digest(relabelled)
+    other = g.copy()
+    other.x = g.x + 1.0
+    assert graph_digest(g) != graph_digest(other)
+
+
+# ----------------------------------------------------------------------
+# Cache correctness
+# ----------------------------------------------------------------------
+def test_hit_returns_same_array_as_miss(service, graphs):
+    first = service.embed(graphs[:3])
+    second = service.embed(graphs[:3])
+    assert np.array_equal(first, second)
+    assert service.telemetry.count("cache_hits") == 3
+    assert service.telemetry.count("cache_misses") == 3
+
+
+def test_second_pass_runs_zero_encoder_forwards(service, graphs):
+    service.embed(graphs)
+    batches_after_first = service.telemetry.count("encoder_batches")
+    graphs_after_first = service.telemetry.count("encoder_graphs")
+    again = service.embed(graphs)
+    assert service.telemetry.count("encoder_batches") == batches_after_first
+    assert service.telemetry.count("encoder_graphs") == graphs_after_first
+    stats = service.stats()
+    assert stats["cache"]["hit_rate"] == 0.5
+    assert stats["latency"]["requests"] == 2
+    assert stats["latency"]["p95_ms"] >= stats["latency"]["p50_ms"] >= 0.0
+    assert again.shape == (len(graphs), 8)
+
+
+def test_mutating_returned_array_does_not_poison_cache(service, graphs):
+    original = service.embed(graphs[:1]).copy()
+    handed_out = service.embed(graphs[:1])
+    handed_out[:] = 0.0
+    assert np.array_equal(service.embed(graphs[:1]), original)
+
+
+def test_duplicates_within_request_embed_once(service, rng):
+    g = make_triangle(rng)
+    rows = service.embed([g, g, g])
+    assert service.telemetry.count("encoder_graphs") == 1
+    assert np.array_equal(rows[0], rows[1])
+    assert np.array_equal(rows[1], rows[2])
+
+
+def test_matches_embed_dataset_with_same_chunking(encoder, graphs):
+    service = EmbeddingService(encoder, max_batch_size=128)
+    expected = embed_dataset(encoder, graphs, batch_size=128)
+    assert np.allclose(service.embed(graphs), expected, atol=0)
+
+
+def test_embed_dataset_service_path(encoder, graphs):
+    service = EmbeddingService(encoder, max_batch_size=128)
+    direct = embed_dataset(encoder, graphs, batch_size=128)
+    cached = embed_dataset(encoder, graphs, service=service)
+    assert np.allclose(cached, direct, atol=0)
+    with pytest.raises(ValueError, match="cache"):
+        embed_dataset(encoder, graphs, service=service, node_weight=None)
+
+
+# ----------------------------------------------------------------------
+# Batching & eviction
+# ----------------------------------------------------------------------
+def test_requests_are_chunked_to_max_batch_size(service, graphs):
+    service.embed(graphs)  # 10 distinct graphs, max_batch_size=4
+    assert service.telemetry.count("encoder_batches") == 3
+    assert service.telemetry.count("encoder_graphs") == 10
+    assert service.stats()["encoder"]["mean_batch_size"] == pytest.approx(
+        10 / 3)
+
+
+def test_lru_eviction_bounds_cache(encoder, graphs):
+    service = EmbeddingService(encoder, cache_size=2, max_batch_size=4)
+    service.embed(graphs[:5])
+    assert service.cache_len <= 2
+    assert service.telemetry.count("cache_evictions") >= 3
+
+
+def test_request_larger_than_cache_still_correct(encoder, graphs):
+    tiny = EmbeddingService(encoder, cache_size=1, max_batch_size=2)
+    big = EmbeddingService(encoder, max_batch_size=2)
+    assert np.array_equal(tiny.embed(graphs[:4]), big.embed(graphs[:4]))
+
+
+# ----------------------------------------------------------------------
+# Micro-batch queue
+# ----------------------------------------------------------------------
+def test_submit_coalesces_into_one_batch(service, graphs):
+    pending = [service.submit(g) for g in graphs[:3]]
+    assert service.telemetry.count("encoder_batches") == 0
+    service.flush()
+    assert service.telemetry.count("encoder_batches") == 1
+    rows = np.stack([p.result() for p in pending])
+    assert np.array_equal(rows, service.embed(graphs[:3]))
+
+
+def test_queue_auto_flushes_at_max_batch_size(encoder, graphs):
+    service = EmbeddingService(encoder, max_batch_size=2)
+    service.submit(graphs[0])
+    assert service.telemetry.count("encoder_batches") == 0
+    service.submit(graphs[1])
+    assert service.telemetry.count("encoder_batches") == 1
+
+
+def test_pending_result_flushes_lazily(service, graphs):
+    pending = service.submit(graphs[0])
+    assert service.telemetry.count("encoder_batches") == 0
+    row = pending.result()
+    assert service.telemetry.count("encoder_batches") == 1
+    assert np.array_equal(row, service.embed([graphs[0]])[0])
+
+
+def test_submit_of_cached_graph_skips_queue(service, graphs):
+    service.embed([graphs[0]])
+    pending = service.submit(graphs[0])
+    pending.result()
+    assert service.telemetry.count("encoder_batches") == 1
+    assert service.telemetry.count("flushes") == 0
+
+
+# ----------------------------------------------------------------------
+# Misc API
+# ----------------------------------------------------------------------
+def test_service_freezes_encoder(encoder):
+    encoder.train()
+    EmbeddingService(encoder)
+    assert not encoder.training
+
+
+def test_empty_request_rejected(service):
+    with pytest.raises(ValueError, match="at least one graph"):
+        service.embed([])
+
+
+def test_single_graph_conveniences(service, rng):
+    g = make_triangle(rng)
+    assert np.array_equal(service.embed(g)[0], service.embed_one(g))
+
+
+def test_invalid_configuration_rejected(encoder):
+    with pytest.raises(ValueError):
+        EmbeddingService(encoder, cache_size=0)
+    with pytest.raises(ValueError):
+        EmbeddingService(encoder, max_batch_size=0)
