@@ -21,6 +21,7 @@ from repro.baselines import RGCL
 from repro.bench import results_dir, save_results
 from repro.core import SGCLConfig, SGCLTrainer
 from repro.data import generate_superpixel_dataset
+from repro.data.io import atomic_write
 from repro.eval import roc_auc
 from repro.graph import Batch
 from repro.tensor import no_grad
@@ -73,7 +74,8 @@ def test_fig7_visualization(benchmark, scale):
                     + _ascii_map(graph, k)
                     + f"\ndigit {graph.y} — RGCL probabilities\n"
                     + _ascii_map(graph, p) + "\n")
-        (results_dir() / "fig7_digits.txt").write_text("\n".join(renderings))
+        with atomic_write(results_dir() / "fig7_digits.txt") as tmp:
+            tmp.write_text("\n".join(renderings))
         return records
 
     records = run_once(benchmark, run)

@@ -2,19 +2,45 @@
 
 Workload sizes are deliberately small (synthetic data, few epochs) so the
 whole suite finishes on a laptop CPU; scale them with ``REPRO_SCALE``.
+
+Set ``REPRO_LOG_DIR`` to a directory to capture per-bench observability:
+every bench then runs under an active :class:`repro.obs.Observer` writing
+``<bench-name>.jsonl`` (epoch events, eval events and a final span-tree
+``trace`` event) — render one with ``python -m repro report <file>``.
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.bench.specs import bench_scale
+from repro.obs import JSONLSink, Observer
 
 
 @pytest.fixture(scope="session")
 def scale() -> float:
     return bench_scale()
+
+
+@pytest.fixture(autouse=True)
+def _observability(request):
+    """Trace each bench into $REPRO_LOG_DIR/<test-name>.jsonl if set."""
+    log_dir = os.environ.get("REPRO_LOG_DIR")
+    if not log_dir:
+        yield
+        return
+    path = Path(log_dir) / f"{request.node.name}.jsonl"
+    observer = Observer(sinks=[JSONLSink(path)])
+    with observer.activate():
+        observer.event("run_start", bench=request.node.name)
+        yield
+        observer.emit_trace()
+        observer.event("run_end", bench=request.node.name)
+    observer.close()
 
 
 @pytest.fixture(autouse=True)

@@ -10,7 +10,19 @@ inventory.
 # checkpoint headers at import time.
 __version__ = "1.1.0"
 
-from . import baselines, bench, core, data, eval, gnn, graph, nn, serve, tensor
+from . import (
+    baselines,
+    bench,
+    core,
+    data,
+    eval,
+    gnn,
+    graph,
+    nn,
+    obs,
+    serve,
+    tensor,
+)
 
 __all__ = [
     "tensor",
@@ -22,6 +34,7 @@ __all__ = [
     "core",
     "baselines",
     "bench",
+    "obs",
     "serve",
     "__version__",
 ]

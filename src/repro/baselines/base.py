@@ -9,6 +9,7 @@ mini-batch ``step``.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -18,6 +19,7 @@ from ..data import DataLoader
 from ..gnn import GNNEncoder
 from ..graph import Graph
 from ..nn import Adam, Module
+from ..obs import current
 from ..tensor import Tensor
 
 __all__ = ["BasePretrainer"]
@@ -70,28 +72,39 @@ class BasePretrainer(Module):
     # ------------------------------------------------------------------
     def pretrain(self, graphs: Sequence[Graph], epochs: int = 20, *,
                  checkpoint_dir: str | Path | None = None,
-                 save_every: int | None = None) -> list[float]:
+                 save_every: int | None = None,
+                 observer=None) -> list[float]:
         """Run the pre-training loop; returns per-epoch mean losses.
 
         ``checkpoint_dir``/``save_every`` mirror
         :meth:`repro.core.SGCLTrainer.pretrain`: best-loss epochs go to
         ``<dir>/best.npz``, every ``save_every``-th to
-        ``<dir>/epoch-NNNN.npz``.
+        ``<dir>/epoch-NNNN.npz``. ``observer`` (default: the ambient
+        :func:`repro.obs.current`) receives one ``epoch`` event per epoch
+        and ``pretrain/epoch``/``pretrain/batch`` spans.
         """
+        obs = observer if observer is not None else current()
         self.train()
         for _ in range(epochs):
             losses = []
+            started = time.perf_counter()
             loader = DataLoader(graphs, self.batch_size, shuffle=True,
                                 rng=self._shuffle_rng)
-            for batch in loader:
-                if self.needs_pairs and batch.num_graphs < 2:
-                    continue
-                loss = self.step(batch)
-                self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.step()
-                losses.append(loss.item())
+            with obs.span("pretrain/epoch"):
+                for batch in loader:
+                    if self.needs_pairs and batch.num_graphs < 2:
+                        continue
+                    with obs.span("pretrain/batch"):
+                        loss = self.step(batch)
+                        self.optimizer.zero_grad()
+                        loss.backward()
+                        self.optimizer.step()
+                    losses.append(loss.item())
             self.history.append(float(np.mean(losses)) if losses else 0.0)
+            obs.event("epoch", method=type(self).__name__,
+                      epoch=len(self.history), loss=self.history[-1],
+                      num_batches=len(losses),
+                      epoch_seconds=time.perf_counter() - started)
             if checkpoint_dir is not None:
                 self._checkpoint_epoch(Path(checkpoint_dir), save_every)
         return self.history

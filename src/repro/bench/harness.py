@@ -29,6 +29,7 @@ from ..data import (
     train_test_split,
 )
 from ..data.io import atomic_write
+from ..obs import current
 from ..eval import (
     cross_validated_accuracy,
     embed_dataset,
@@ -86,6 +87,8 @@ def run_unsupervised(method: str, dataset_name: str, *, seeds: list[int],
             embeddings, dataset.labels(), k=folds, classifier=classifier,
             seed=seed)
         scores.append(accuracy * 100.0)
+        current().event("eval", protocol="unsupervised", method=method,
+                        dataset=dataset_name, seed=seed, accuracy=accuracy)
     return mean_std(scores)
 
 
@@ -129,6 +132,8 @@ def run_transfer(method: str, downstream_name: str, *, seeds: list[int],
                                  epochs=finetune_epochs, rng=rng)
         if not np.isnan(auc):
             scores.append(auc * 100.0)
+            current().event("eval", protocol="transfer", method=method,
+                            dataset=downstream_name, seed=seed, roc_auc=auc)
     # A fully degenerate test split (possible at tiny scales) scores chance.
     return mean_std(scores) if scores else (50.0, 0.0)
 

@@ -16,6 +16,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..data.io import atomic_write
 from .harness import average_ranks, results_dir
 from .specs import (
     SENSITIVITY_OPTIMA,
@@ -246,9 +247,14 @@ def render_experiments_md() -> str:
 
 
 def write_experiments_md(path: str | Path | None = None) -> Path:
-    """Write the report next to the repository root (or to ``path``)."""
+    """Write the report next to the repository root (or to ``path``).
+
+    Atomic (temp file + rename) like every other result writer, so an
+    interrupted regeneration cannot truncate the committed EXPERIMENTS.md.
+    """
     if path is None:
         path = Path(__file__).resolve().parents[3] / "EXPERIMENTS.md"
     path = Path(path)
-    path.write_text(render_experiments_md())
+    with atomic_write(path) as tmp:
+        tmp.write_text(render_experiments_md())
     return path

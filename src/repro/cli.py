@@ -14,13 +14,21 @@ Commands
     Pre-train a method and write a serving checkpoint.
 ``embed``
     Serve embeddings of a dataset from a checkpoint (cached inference).
+``report``
+    Render a JSONL run log (written via ``--log-dir``) as tables.
+
+``pretrain`` and ``transfer`` accept ``--log-dir DIR`` (write a JSONL
+event log + run manifest under DIR) and ``--trace`` (print the span tree
+after the run).
 
 Examples
 --------
 ::
 
     python -m repro datasets --json
-    python -m repro pretrain --method SGCL --dataset MUTAG --epochs 5
+    python -m repro pretrain --method SGCL --dataset MUTAG --epochs 5 \
+        --log-dir runs --trace
+    python -m repro report runs/run-<id>.jsonl
     python -m repro transfer --method SGCL --downstream BBBP
     python -m repro inspect --dataset PROTEINS
     python -m repro save --method SGCL --dataset MUTAG --out ckpt/sgcl.npz
@@ -32,8 +40,57 @@ from __future__ import annotations
 
 import argparse
 import json
+import time
 
 from . import __version__
+
+
+def _observer_from_args(args):
+    """(observer, log_path) for ``--log-dir``/``--trace``; no-op otherwise."""
+    if not (getattr(args, "log_dir", None) or getattr(args, "trace", False)):
+        from .obs import NULL_OBSERVER
+
+        return NULL_OBSERVER, None
+    from pathlib import Path
+
+    from .obs import JSONLSink, Observer
+
+    observer = Observer()
+    log_path = None
+    if args.log_dir:
+        log_path = Path(args.log_dir) / f"run-{observer.run_id}.jsonl"
+        observer.sinks.append(JSONLSink(log_path))
+    return observer, log_path
+
+
+def _write_manifest(observer, log_path, args, *, command: str) -> None:
+    """Pin config + dataset fingerprint + environment next to the log."""
+    from .data import load_dataset
+    from .obs import RunManifest, dataset_fingerprint
+
+    dataset_name = getattr(args, "dataset", None) or args.downstream
+    dataset = load_dataset(dataset_name, seed=0, scale=args.scale)
+    manifest = RunManifest(
+        observer.run_id,
+        config={key: value for key, value in vars(args).items()
+                if key not in ("fn", "command")},
+        dataset={"name": dataset_name, "num_graphs": len(dataset),
+                 "fingerprint": dataset_fingerprint(dataset.graphs)},
+        seed=0, extra={"command": command})
+    manifest.write(log_path.with_suffix(".manifest.json"))
+
+
+def _finish_observer(observer, log_path, args) -> None:
+    if not observer.enabled:
+        return
+    observer.emit_trace()
+    observer.close()
+    if getattr(args, "trace", False):
+        from .obs import render_span_tree
+
+        print(render_span_tree(observer.tracer))
+    if log_path is not None:
+        print(f"run log: {log_path}  (render with `repro report {log_path}`)")
 
 
 def _cmd_datasets(args: argparse.Namespace) -> None:
@@ -59,9 +116,21 @@ def _cmd_datasets(args: argparse.Namespace) -> None:
 def _cmd_pretrain(args: argparse.Namespace) -> None:
     from .bench import run_unsupervised
 
-    mean, std = run_unsupervised(
-        args.method, args.dataset, seeds=list(range(args.seeds)),
-        scale=args.scale, epochs=args.epochs, classifier=args.classifier)
+    observer, log_path = _observer_from_args(args)
+    if log_path is not None:
+        _write_manifest(observer, log_path, args, command="pretrain")
+    started = time.perf_counter()
+    with observer.activate():
+        observer.event("run_start", command="pretrain", method=args.method,
+                       dataset=args.dataset, epochs=args.epochs,
+                       seeds=args.seeds)
+        mean, std = run_unsupervised(
+            args.method, args.dataset, seeds=list(range(args.seeds)),
+            scale=args.scale, epochs=args.epochs, classifier=args.classifier)
+        observer.event("run_end",
+                       wall_seconds=round(time.perf_counter() - started, 3),
+                       accuracy_mean=mean, accuracy_std=std)
+    _finish_observer(observer, log_path, args)
     print(f"{args.method} on {args.dataset}: "
           f"{mean:.2f} ± {std:.2f} % ({args.seeds} seed(s))")
 
@@ -69,12 +138,31 @@ def _cmd_pretrain(args: argparse.Namespace) -> None:
 def _cmd_transfer(args: argparse.Namespace) -> None:
     from .bench import run_transfer
 
-    mean, std = run_transfer(
-        args.method, args.downstream, seeds=list(range(args.seeds)),
-        pretrain_scale=args.scale, downstream_scale=args.scale,
-        pretrain_epochs=args.epochs, finetune_epochs=args.finetune_epochs)
+    observer, log_path = _observer_from_args(args)
+    if log_path is not None:
+        _write_manifest(observer, log_path, args, command="transfer")
+    started = time.perf_counter()
+    with observer.activate():
+        observer.event("run_start", command="transfer", method=args.method,
+                       dataset=args.downstream, epochs=args.epochs,
+                       seeds=args.seeds)
+        mean, std = run_transfer(
+            args.method, args.downstream, seeds=list(range(args.seeds)),
+            pretrain_scale=args.scale, downstream_scale=args.scale,
+            pretrain_epochs=args.epochs,
+            finetune_epochs=args.finetune_epochs)
+        observer.event("run_end",
+                       wall_seconds=round(time.perf_counter() - started, 3),
+                       roc_auc_mean=mean, roc_auc_std=std)
+    _finish_observer(observer, log_path, args)
     print(f"{args.method} → {args.downstream}: "
           f"ROC-AUC {mean:.2f} ± {std:.2f} %")
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from .obs import render_run_report
+
+    print(render_run_report(args.log))
 
 
 def _cmd_inspect(args: argparse.Namespace) -> None:
@@ -147,6 +235,13 @@ def _cmd_embed(args: argparse.Namespace) -> None:
         print(json.dumps(service.stats(), indent=2))
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--log-dir", default=None,
+                        help="write a JSONL event log + run manifest here")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span tree after the run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SGCL reproduction command line")
@@ -168,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--scale", type=float, default=0.1)
     pretrain.add_argument("--classifier", default="logreg",
                           choices=["logreg", "svm"])
+    _add_observability_flags(pretrain)
     pretrain.set_defaults(fn=_cmd_pretrain)
 
     transfer = sub.add_parser("transfer", help="transfer protocol")
@@ -177,7 +273,13 @@ def build_parser() -> argparse.ArgumentParser:
     transfer.add_argument("--finetune-epochs", type=int, default=5)
     transfer.add_argument("--seeds", type=int, default=1)
     transfer.add_argument("--scale", type=float, default=0.08)
+    _add_observability_flags(transfer)
     transfer.set_defaults(fn=_cmd_transfer)
+
+    report = sub.add_parser(
+        "report", help="render a JSONL run log as tables")
+    report.add_argument("log", help="path to a run-<id>.jsonl event log")
+    report.set_defaults(fn=_cmd_report)
 
     inspect = sub.add_parser("inspect", help="semantic-node diagnostics")
     inspect.add_argument("--dataset", default="PROTEINS")

@@ -36,6 +36,7 @@ import numpy as np
 from ..graph import Batch, Graph
 from ..gnn import GNNEncoder
 from ..nn import Module, Parameter
+from ..obs import current
 from ..tensor import Tensor, concatenate, gather, segment_softmax, segment_sum
 
 __all__ = ["LipschitzConstantGenerator", "topology_distance"]
@@ -96,9 +97,10 @@ class LipschitzConstantGenerator(Module):
         was_training = self.encoder.training
         self.encoder.eval()
         try:
-            if self.mode == "exact":
-                return self._exact_constants(batch)
-            return self._approx_constants(batch)
+            with current().span("lipschitz/generator"):
+                if self.mode == "exact":
+                    return self._exact_constants(batch)
+                return self._approx_constants(batch)
         finally:
             self.encoder.train(was_training)
 

@@ -24,6 +24,7 @@ import numpy as np
 from ..graph import Batch, Graph
 from ..gnn import GNNEncoder, ProjectionHead
 from ..nn import Module, Parameter
+from ..obs import current
 from ..tensor import Tensor, gather, segment_mean
 from .augmentation import augmentation_probability_mask, lipschitz_augment
 from .config import SGCLConfig
@@ -129,18 +130,19 @@ class SGCLModel(Module):
         per_graph_keep = batch.unbatch_node_values(scores.keep_probability)
         per_graph_head = batch.unbatch_node_values(scores.head_scores.data)
         views, complements = [], []
-        for graph, keep, head in zip(batch.graphs, per_graph_keep,
-                                     per_graph_head):
-            if mode == "random":
-                probability = np.full(graph.num_nodes, 0.5)
-            elif mode == "learnable":
-                probability = head
-            else:
-                probability = keep
-            view, complement = lipschitz_augment(
-                graph, probability, self.config.rho, rng)
-            views.append(view)
-            complements.append(complement)
+        with current().span("augment/sample"):
+            for graph, keep, head in zip(batch.graphs, per_graph_keep,
+                                         per_graph_head):
+                if mode == "random":
+                    probability = np.full(graph.num_nodes, 0.5)
+                elif mode == "learnable":
+                    probability = head
+                else:
+                    probability = keep
+                view, complement = lipschitz_augment(
+                    graph, probability, self.config.rho, rng)
+                views.append(view)
+                complements.append(complement)
         return views, complements
 
     # ------------------------------------------------------------------
@@ -205,6 +207,13 @@ class SGCLModel(Module):
         loss_s = semantic_info_nce(z_anchor, z_view, config.tau)
         total = loss_s
         stats = {"loss_s": loss_s.item()}
+        constants = scores.constants.data
+        stats["k_v_mean"] = float(constants.mean())
+        stats["k_v_std"] = float(constants.std())
+        stats["k_v_min"] = float(constants.min())
+        stats["k_v_max"] = float(constants.max())
+        surviving = sum(view.num_nodes for view in views)
+        stats["drop_fraction"] = 1.0 - surviving / batch.num_nodes
         if config.lambda_g > 0:
             # Generator tower objective: maximise the paper's graph
             # likelihood (Eq. 2–3) so f_q's representations encode structure

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -10,10 +12,38 @@ import numpy as np
 from ..data import DataLoader
 from ..graph import Graph
 from ..nn import Adam
+from ..obs import current
 from .config import SGCLConfig
 from .model import SGCLModel
 
-__all__ = ["SGCLTrainer"]
+__all__ = ["SGCLTrainer", "global_grad_norm"]
+
+
+def global_grad_norm(parameters) -> float:
+    """L2 norm over every parameter gradient (0.0 if none are set)."""
+    total = 0.0
+    for param in parameters:
+        grad = param.grad
+        if grad is not None:
+            total += float((grad * grad).sum())
+    return math.sqrt(total)
+
+
+def summarize_epoch(epoch_stats: dict[str, list[float]]) -> dict[str, float]:
+    """Collapse per-batch stats into one epoch row.
+
+    Keys ending in ``_min``/``_max`` keep their extreme over the epoch's
+    batches; everything else is averaged.
+    """
+    summary = {}
+    for key, values in epoch_stats.items():
+        if key.endswith("_min"):
+            summary[key] = float(np.min(values))
+        elif key.endswith("_max"):
+            summary[key] = float(np.max(values))
+        else:
+            summary[key] = float(np.mean(values))
+    return summary
 
 
 class SGCLTrainer:
@@ -55,8 +85,17 @@ class SGCLTrainer:
     # ------------------------------------------------------------------
     def pretrain(self, graphs: Sequence[Graph], epochs: int | None = None, *,
                  checkpoint_dir: str | Path | None = None,
-                 save_every: int | None = None) -> list[dict[str, float]]:
-        """Run contrastive pre-training; returns per-epoch mean stats.
+                 save_every: int | None = None,
+                 observer=None) -> list[dict[str, float]]:
+        """Run contrastive pre-training; returns per-epoch stats.
+
+        Every history entry is one epoch row carrying the loss components
+        (``loss``, ``loss_s``, ``loss_c``, ``loss_g``, ``theta_w``), the
+        Lipschitz-constant summary (``k_v_mean/std/min/max``), the realised
+        augmentation strength (``drop_fraction``), the gradient norm and
+        timing (``epoch``, ``epoch_seconds``, ``num_batches``) — so
+        sensitivity benchmarks can plot curves without re-running, and
+        resumed runs (the history is checkpointed) keep the full record.
 
         Batches with fewer than 2 graphs are skipped (InfoNCE needs
         negatives), matching ``drop_last`` behaviour of the reference code.
@@ -65,25 +104,43 @@ class SGCLTrainer:
         saved to ``<dir>/best.npz`` and — if ``save_every`` is given — every
         ``save_every``-th epoch to ``<dir>/epoch-NNNN.npz`` (numbered over
         the trainer's lifetime, so resumed runs continue the sequence).
+
+        ``observer`` overrides the ambient :func:`repro.obs.current`
+        observer; each epoch row is also emitted as an ``epoch`` event and
+        the loop is wrapped in ``pretrain/epoch`` / ``pretrain/batch``
+        spans. With no observer active all of this is a no-op.
         """
         epochs = epochs if epochs is not None else self.config.epochs
+        obs = observer if observer is not None else current()
+        parameters = self.model.parameters()
         self.model.train()
         for _ in range(epochs):
             epoch_stats: dict[str, list[float]] = {}
+            num_batches = 0
+            started = time.perf_counter()
             loader = DataLoader(graphs, self.config.batch_size, shuffle=True,
                                 rng=self._shuffle_rng)
-            for batch in loader:
-                if batch.num_graphs < 2:
-                    continue
-                loss, stats = self.model.loss(batch, self._augment_rng)
-                self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.step()
-                for key, value in stats.items():
-                    epoch_stats.setdefault(key, []).append(value)
-            summary = {key: float(np.mean(values))
-                       for key, values in epoch_stats.items()}
+            with obs.span("pretrain/epoch"):
+                for batch in loader:
+                    if batch.num_graphs < 2:
+                        continue
+                    with obs.span("pretrain/batch"):
+                        loss, stats = self.model.loss(batch,
+                                                      self._augment_rng)
+                        self.optimizer.zero_grad()
+                        loss.backward()
+                        if obs.enabled:
+                            stats["grad_norm"] = global_grad_norm(parameters)
+                        self.optimizer.step()
+                    num_batches += 1
+                    for key, value in stats.items():
+                        epoch_stats.setdefault(key, []).append(value)
+            summary = summarize_epoch(epoch_stats)
+            summary["epoch"] = len(self.history) + 1
+            summary["num_batches"] = num_batches
+            summary["epoch_seconds"] = time.perf_counter() - started
             self.history.append(summary)
+            obs.event("epoch", method="SGCL", **summary)
             if checkpoint_dir is not None:
                 self._checkpoint_epoch(Path(checkpoint_dir), summary,
                                        save_every)

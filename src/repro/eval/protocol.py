@@ -27,6 +27,7 @@ from ..nn import (
     binary_cross_entropy_with_logits,
     cross_entropy,
 )
+from ..obs import current
 from ..tensor import no_grad
 from .linear_model import LogisticRegression
 from .metrics import accuracy, mean_std, multitask_roc_auc
@@ -59,7 +60,7 @@ def embed_dataset(encoder: GNNEncoder, dataset, batch_size: int = 128,
         return service.embed(dataset)
     encoder.eval()
     chunks = []
-    with no_grad():
+    with no_grad(), current().span("eval/embed"):
         for batch in DataLoader(dataset, batch_size):
             chunks.append(
                 encoder.graph_representations(batch, **embed_kwargs).data)
@@ -86,14 +87,20 @@ def cross_validated_accuracy(embeddings: np.ndarray, labels: np.ndarray, *,
     labels = np.asarray(labels)
     rng = np.random.default_rng(seed)
     fold_scores = []
+    # Span name follows the classifier ("eval/svm" or "eval/logreg"), one
+    # span per CV fold, so traces show where protocol time actually goes.
+    span_name = f"eval/{classifier}"
+    obs = current()
     for train_idx, test_idx in stratified_kfold(labels, k, rng):
-        mu = embeddings[train_idx].mean(axis=0)
-        sigma = embeddings[train_idx].std(axis=0) + 1e-8
-        train_x = (embeddings[train_idx] - mu) / sigma
-        test_x = (embeddings[test_idx] - mu) / sigma
-        model = _make_classifier(classifier, seed)
-        model.fit(train_x, labels[train_idx])
-        fold_scores.append(accuracy(labels[test_idx], model.predict(test_x)))
+        with obs.span(span_name):
+            mu = embeddings[train_idx].mean(axis=0)
+            sigma = embeddings[train_idx].std(axis=0) + 1e-8
+            train_x = (embeddings[train_idx] - mu) / sigma
+            test_x = (embeddings[test_idx] - mu) / sigma
+            model = _make_classifier(classifier, seed)
+            model.fit(train_x, labels[train_idx])
+            fold_scores.append(
+                accuracy(labels[test_idx], model.predict(test_x)))
     return mean_std(fold_scores)
 
 

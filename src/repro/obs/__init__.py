@@ -1,0 +1,52 @@
+"""Observability subsystem: metrics, tracing spans, event sinks, manifests.
+
+One layer measures the whole stack — SGCL pre-training, the baselines,
+evaluation, benchmarks and serving:
+
+* :class:`MetricsRegistry` — counters, gauges and reservoir histograms
+  (``repro.serve.Telemetry`` is a back-compat shim over it).
+* :class:`Tracer` — nested timed spans (``pretrain/epoch``,
+  ``lipschitz/generator``, ``augment/sample``, ``eval/svm``…), exportable
+  as a span tree or per-name aggregate.
+* Sinks — :class:`MemorySink` ring buffer, :class:`JSONLSink` append-only
+  event log, :class:`ConsoleSink` progress lines, :class:`NullSink`.
+* :class:`Observer` — ties the three together; installed ambiently with
+  ``observer.activate()`` and looked up by instrumented code via
+  :func:`current` (a shared no-op when observability is off).
+* :class:`RunManifest` — config + dataset fingerprint + git SHA + seed +
+  environment, written next to run logs and checkpoints.
+* ``repro report <run.jsonl>`` renders a log via :mod:`repro.obs.report`.
+
+See docs/OBSERVABILITY.md for the event schema and span names.
+"""
+
+from .manifest import RunManifest, dataset_fingerprint, git_sha
+from .metrics import MetricsRegistry
+from .observer import NULL_OBSERVER, NullObserver, Observer, current
+from .report import load_events, render_report, render_run_report
+from .sinks import ConsoleSink, JSONLSink, MemorySink, NullSink, Sink
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer, render_span_tree
+
+__all__ = [
+    "MetricsRegistry",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "render_span_tree",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JSONLSink",
+    "ConsoleSink",
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "current",
+    "RunManifest",
+    "dataset_fingerprint",
+    "git_sha",
+    "load_events",
+    "render_report",
+    "render_run_report",
+]

@@ -1,0 +1,119 @@
+"""Metrics registry: counters, gauges and histogram series.
+
+The single metrics substrate for the whole system — training telemetry,
+the serving layer (``repro.serve.Telemetry`` is a thin shim over this
+class) and benchmark instrumentation all record into a
+:class:`MetricsRegistry`. Three metric kinds are supported:
+
+* **counters** — monotonically increasing totals (``increment``/``count``);
+* **gauges** — last-value-wins level measurements (``set_gauge``/``gauge``);
+* **histograms** — bounded reservoirs of recent observations with
+  percentile summaries (``observe``/``timer``/``percentile``/``summary``).
+
+No external dependencies, no background threads; every recording costs a
+dict lookup plus an append, so the registry is safe to leave on in hot
+paths.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Named counters, gauges and bounded observation series.
+
+    Parameters
+    ----------
+    max_samples:
+        Per-series reservoir size. Old observations fall off the front, so
+        percentiles reflect recent behaviour and memory stays bounded no
+        matter how long the process runs.
+    """
+
+    def __init__(self, max_samples: int = 2048):
+        self.max_samples = max_samples
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._series: dict[str, deque] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def increment(self, name: str, by: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + by
+
+    def count(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a level measurement; the latest value wins."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> float:
+        """Current value of a gauge; NaN if never set."""
+        return self._gauges.get(name, float("nan"))
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation (a latency, a batch size, …)."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = deque(maxlen=self.max_samples)
+        series.append(float(value))
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time the enclosed block; observes elapsed seconds under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    def percentile(self, name: str, q: float) -> float:
+        """q-th percentile (0–100) of the recorded series; NaN if empty."""
+        series = self._series.get(name)
+        if not series:
+            return float("nan")
+        return float(np.percentile(np.fromiter(series, dtype=float), q))
+
+    def summary(self, name: str) -> dict[str, float]:
+        """count / mean / p50 / p95 / max of one series (NaNs if empty)."""
+        series = self._series.get(name)
+        if not series:
+            return {"count": 0, "mean": float("nan"), "p50": float("nan"),
+                    "p95": float("nan"), "max": float("nan")}
+        values = np.fromiter(series, dtype=float)
+        return {
+            "count": len(values),
+            "mean": float(values.mean()),
+            "p50": float(np.percentile(values, 50)),
+            "p95": float(np.percentile(values, 95)),
+            "max": float(values.max()),
+        }
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All counters and gauges plus a summary of every series."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "series": {name: self.summary(name) for name in self._series},
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._series.clear()

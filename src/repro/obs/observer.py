@@ -1,0 +1,185 @@
+"""The :class:`Observer` — one handle tying metrics, tracing and sinks.
+
+Instrumented library code never builds its own observer; it asks for the
+ambient one::
+
+    from ..obs import current
+
+    with current().span("lipschitz/generator"):
+        ...
+
+By default :func:`current` returns :data:`NULL_OBSERVER`, whose every
+method is a no-op and whose ``span()`` hands back one shared empty context
+manager — instrumentation left in hot paths costs a function call and two
+attribute lookups when observability is off. A real observer is installed
+for a region of code with::
+
+    observer = Observer(sinks=[JSONLSink("runs/r1.jsonl")])
+    with observer.activate():
+        trainer.pretrain(graphs)          # emits epoch events + spans
+    observer.emit_trace()
+    observer.close()
+
+Activation is a stack, so observers nest (an outer CLI-level observer and
+an inner test-scoped one do not fight). Explicit ``observer=`` parameters
+on ``pretrain`` methods override the ambient lookup for callers that want
+direct control.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextlib import contextmanager
+
+from .metrics import MetricsRegistry
+from .sinks import Sink
+from .tracing import NULL_TRACER, Tracer, _NULL_SPAN
+
+__all__ = ["Observer", "NullObserver", "NULL_OBSERVER", "current"]
+
+
+class Observer:
+    """Aggregates a metrics registry, a tracer and a list of event sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Destinations for :meth:`event` payloads (JSONL file, ring buffer,
+        console, …). Empty is fine — spans and metrics still record.
+    metrics, tracer:
+        Injectable substrates; fresh private instances by default.
+    run_id:
+        Short identifier stamped into every event (``run`` key); a random
+        8-hex-char id is generated if omitted.
+    clock:
+        Wall-clock source for event timestamps (injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: list[Sink] | tuple = (), *,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 run_id: str | None = None,
+                 clock=time.time):
+        self.sinks = list(sinks)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:8]
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def event(self, kind: str, **fields) -> dict:
+        """Emit one structured event to every sink; returns the payload.
+
+        Every event carries three envelope keys — ``event`` (the kind),
+        ``ts`` (wall-clock seconds) and ``run`` (the run id) — plus the
+        caller's fields. See docs/OBSERVABILITY.md for the schema of the
+        core kinds.
+        """
+        payload = {"event": kind, "ts": round(self._clock(), 6),
+                   "run": self.run_id, **fields}
+        for sink in self.sinks:
+            sink.emit(payload)
+        return payload
+
+    def emit_trace(self) -> dict:
+        """Emit the tracer's span tree + per-name aggregate as one event."""
+        return self.event("trace", spans=self.tracer.span_tree(),
+                          aggregate=self.tracer.aggregate())
+
+    # ------------------------------------------------------------------
+    # Delegation to the substrates
+    # ------------------------------------------------------------------
+    def span(self, name: str):
+        return self.tracer.span(name)
+
+    def increment(self, name: str, by: float = 1) -> None:
+        self.metrics.increment(name, by)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.metrics.set_gauge(name, value)
+
+    def timer(self, name: str):
+        return self.metrics.timer(name)
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def activate(self):
+        """Install this observer as :func:`current` for the enclosed block."""
+        _ACTIVE.append(self)
+        try:
+            yield self
+        finally:
+            # Remove the most recent occurrence (activations unwind LIFO,
+            # but the same observer may be active at two depths).
+            for i in range(len(_ACTIVE) - 1, 0, -1):
+                if _ACTIVE[i] is self:
+                    del _ACTIVE[i]
+                    break
+
+    def close(self) -> None:
+        """Close every sink (flushes file-backed logs)."""
+        for sink in self.sinks:
+            sink.close()
+
+
+class NullObserver:
+    """Inert observer: every method is a no-op, ``span()`` is shared.
+
+    Instrumented code can call any Observer method on it unconditionally;
+    nothing is recorded and nothing is allocated.
+    """
+
+    enabled = False
+    sinks: list = []
+    metrics = None
+    tracer = NULL_TRACER
+    run_id = "off"
+
+    def event(self, kind: str, **fields) -> dict:
+        return {}
+
+    def emit_trace(self) -> dict:
+        return {}
+
+    def span(self, name: str):
+        return _NULL_SPAN
+
+    def increment(self, name: str, by: float = 1) -> None:
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def timer(self, name: str):
+        return _NULL_SPAN
+
+    @contextmanager
+    def activate(self):
+        yield self
+
+    def close(self) -> None:
+        return None
+
+
+NULL_OBSERVER = NullObserver()
+
+# Activation stack; the top is what `current()` returns. A list (not a
+# contextvar) keeps lookup at one index operation — this codebase is
+# single-threaded numpy throughout.
+_ACTIVE: list = [NULL_OBSERVER]
+
+
+def current():
+    """The innermost activated :class:`Observer` (or the shared no-op)."""
+    return _ACTIVE[-1]

@@ -1,0 +1,128 @@
+"""Aggregate a JSONL run log into human-readable tables.
+
+Backs the ``repro report <run.jsonl>`` CLI command: loads every event,
+groups the per-epoch training telemetry into one table per (run, method),
+lists evaluation results, and renders the span-time aggregate of the last
+``trace`` event. Pure functions over parsed events, so tests can feed
+synthetic logs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["load_events", "render_report", "render_run_report"]
+
+_EPOCH_COLUMNS = [
+    # (event key, column header, format)
+    ("loss", "loss", "{:.4f}"),
+    ("loss_s", "L_s", "{:.4f}"),
+    ("loss_c", "L_c", "{:.4f}"),
+    ("loss_g", "L_g", "{:.4f}"),
+    ("theta_w", "Θ_W", "{:.4f}"),
+    ("grad_norm", "|∇|", "{:.3f}"),
+    ("k_v_mean", "K_V mean", "{:.3f}"),
+    ("k_v_std", "K_V std", "{:.3f}"),
+    ("drop_fraction", "drop%", "{:.1%}"),
+    ("epoch_seconds", "sec", "{:.2f}"),
+]
+
+
+def load_events(path: str | Path) -> list[dict]:
+    """Parse a JSONL event log; every non-blank line must be valid JSON."""
+    events = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}:{lineno}: invalid JSONL event: {error}") from None
+        if not isinstance(event, dict) or "event" not in event:
+            raise ValueError(
+                f"{path}:{lineno}: event objects need an 'event' key")
+        events.append(event)
+    return events
+
+
+def _epoch_table(epochs: list[dict]) -> str:
+    """One row per epoch, only the columns that actually occur."""
+    columns = [(key, header, fmt) for key, header, fmt in _EPOCH_COLUMNS
+               if any(key in e for e in epochs)]
+    widths = [max(9, len(h) + 1) for _, h, _ in columns]
+    lines = ["epoch" + "".join(f"{h:>{w}}" for (_, h, _), w
+                               in zip(columns, widths))]
+    for event in epochs:
+        cells = []
+        for (key, _, fmt), width in zip(columns, widths):
+            cell = fmt.format(event[key]) if key in event else "-"
+            cells.append(f"{cell:>{width}}")
+        lines.append(f"{event.get('epoch', '?'):>5}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def _mean(epochs: list[dict], key: str) -> float:
+    values = [e[key] for e in epochs if key in e]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def render_report(events: list[dict]) -> str:
+    """Render every table the events support; stable section order."""
+    sections: list[str] = []
+
+    starts = [e for e in events if e["event"] == "run_start"]
+    for start in starts:
+        fields = ", ".join(f"{k}={v}" for k, v in start.items()
+                           if k not in ("event", "ts", "run"))
+        sections.append(f"run {start.get('run', '?')}: {fields}")
+
+    epochs = [e for e in events if e["event"] == "epoch"]
+    methods = sorted({(e.get("run", "?"), e.get("method", "?"))
+                      for e in epochs})
+    for run, method in methods:
+        rows = [e for e in epochs
+                if e.get("run", "?") == run and e.get("method", "?") == method]
+        header = f"== training: {method} (run {run}, {len(rows)} epochs) =="
+        summary = (f"mean epoch time {_mean(rows, 'epoch_seconds'):.2f}s, "
+                   f"final loss {rows[-1].get('loss', float('nan')):.4f}")
+        sections.append("\n".join([header, _epoch_table(rows), summary]))
+
+    evals = [e for e in events if e["event"] == "eval"]
+    if evals:
+        lines = ["== evaluation =="]
+        for event in evals:
+            fields = ", ".join(f"{k}={v}" for k, v in event.items()
+                               if k not in ("event", "ts", "run"))
+            lines.append(f"  {fields}")
+        sections.append("\n".join(lines))
+
+    traces = [e for e in events if e["event"] == "trace"]
+    if traces and traces[-1].get("aggregate"):
+        aggregate = traces[-1]["aggregate"]
+        lines = ["== spans ==",
+                 f"{'span':<32}{'calls':>8}{'total':>12}"]
+        for name in sorted(aggregate,
+                           key=lambda n: -aggregate[n]["total_s"]):
+            entry = aggregate[name]
+            lines.append(f"{name:<32}{int(entry['calls']):>8}"
+                         f"{entry['total_s']:>11.3f}s")
+        sections.append("\n".join(lines))
+
+    ends = [e for e in events if e["event"] == "run_end"]
+    for end in ends:
+        fields = ", ".join(f"{k}={v}" for k, v in end.items()
+                           if k not in ("event", "ts", "run"))
+        sections.append(f"run {end.get('run', '?')} finished: {fields}")
+
+    if not sections:
+        return "(no renderable events)"
+    return "\n\n".join(sections)
+
+
+def render_run_report(path: str | Path) -> str:
+    """``load_events`` + ``render_report`` for one log file."""
+    return render_report(load_events(path))

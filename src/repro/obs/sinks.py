@@ -1,0 +1,148 @@
+"""Event sinks: where observability events go.
+
+Every sink implements one method — ``emit(event)`` with a plain dict — so
+new destinations (a socket, a metrics backend) are one small class away.
+Shipped sinks:
+
+* :class:`NullSink` — drops everything (the zero-overhead default).
+* :class:`MemorySink` — bounded in-memory ring buffer, for tests and
+  interactive inspection.
+* :class:`JSONLSink` — append-only JSON-lines writer: one event per line,
+  each line written whole and flushed, so a crashed run leaves at worst a
+  complete prefix of the log and every surviving line parses.
+* :class:`ConsoleSink` — human-readable progress reporter for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Sink", "NullSink", "MemorySink", "JSONLSink", "ConsoleSink"]
+
+
+def _jsonify(value):
+    """Default encoder for numpy scalars/arrays inside event payloads."""
+    if isinstance(value, (np.floating, np.integer)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value)}")
+
+
+class Sink:
+    """Interface: receive one event dict at a time."""
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further ``emit`` calls are undefined."""
+
+
+class NullSink(Sink):
+    """Discards every event."""
+
+    def emit(self, event: dict) -> None:
+        return None
+
+
+class MemorySink(Sink):
+    """Keeps the most recent ``capacity`` events in a ring buffer."""
+
+    def __init__(self, capacity: int = 4096):
+        self.events: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, event: dict) -> None:
+        self.events.append(dict(event))
+
+    def of_kind(self, kind: str) -> list[dict]:
+        """All buffered events with ``event == kind``, oldest first."""
+        return [e for e in self.events if e.get("event") == kind]
+
+
+class JSONLSink(Sink):
+    """Append-only JSON-lines event log.
+
+    Each event is serialised to a single line (sorted keys, so the schema
+    is diff-stable), written in one call and flushed immediately. The file
+    is opened in append mode, so several runs may share one log and a
+    crash can never truncate previously written events.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True, default=_jsonify)
+        self._file.write(line + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+class ConsoleSink(Sink):
+    """Renders events as one-line human-readable progress messages.
+
+    Knows the shape of the core event kinds (``epoch``, ``eval``,
+    ``run_start``, ``run_end``); anything else falls back to
+    ``kind key=value …``. ``stream`` defaults to the *current*
+    ``sys.stdout`` at emit time so output capture (pytest, redirection)
+    works.
+    """
+
+    def __init__(self, stream=None):
+        self._stream = stream
+
+    def _write(self, text: str) -> None:
+        stream = self._stream if self._stream is not None else sys.stdout
+        stream.write(text + "\n")
+
+    def emit(self, event: dict) -> None:
+        kind = event.get("event", "?")
+        if kind == "epoch":
+            self._write(self._format_epoch(event))
+        elif kind == "eval":
+            metric = "accuracy" if "accuracy" in event else "roc_auc"
+            value = event.get(metric, float("nan"))
+            self._write(f"[eval] {event.get('protocol', '?')} "
+                        f"{metric}={value:.4f}")
+        elif kind == "run_start":
+            self._write(f"[run {event.get('run', '?')}] "
+                        f"{event.get('method', '?')} on "
+                        f"{event.get('dataset', '?')}")
+        elif kind == "run_end":
+            self._write(f"[run {event.get('run', '?')}] done "
+                        f"in {event.get('wall_seconds', float('nan')):.2f}s")
+        elif kind == "trace":
+            return  # span trees are unreadable on one line; see `repro report`
+        else:
+            fields = " ".join(
+                f"{k}={v}" for k, v in event.items()
+                if k not in ("event", "ts", "run"))
+            self._write(f"[{kind}] {fields}")
+
+    @staticmethod
+    def _format_epoch(event: dict) -> str:
+        parts = [f"[epoch {event.get('epoch', '?')}]"]
+        for key, label in (("loss", "loss"), ("loss_s", "L_s"),
+                           ("loss_c", "L_c"), ("theta_w", "Θ_W"),
+                           ("grad_norm", "|∇|")):
+            if key in event:
+                parts.append(f"{label}={event[key]:.4f}")
+        if "k_v_mean" in event:
+            parts.append(f"K_V={event['k_v_mean']:.3f}"
+                         f"±{event.get('k_v_std', float('nan')):.3f}")
+        if "drop_fraction" in event:
+            parts.append(f"drop={100 * event['drop_fraction']:.1f}%")
+        if "epoch_seconds" in event:
+            parts.append(f"({event['epoch_seconds']:.2f}s)")
+        return " ".join(parts)

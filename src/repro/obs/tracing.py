@@ -1,0 +1,192 @@
+"""Nested timed spans: where does a run actually spend its time.
+
+A :class:`Tracer` records a tree of wall-clock spans. Instrumented code
+opens a span with ``with tracer.span("pretrain/epoch"):``; spans opened
+while another is active become its children, so one traced ``pretrain``
+produces a tree like::
+
+    pretrain/epoch                      ×4     3.210s
+      pretrain/batch                    ×28    3.105s
+        lipschitz/generator             ×28    1.422s
+        augment/sample                  ×28    0.310s
+
+Two export forms are provided: :meth:`Tracer.span_tree` (the nested
+structure, JSON-encodable — this is what the ``trace`` event in a run log
+carries) and :meth:`Tracer.aggregate` (per-name call counts and total
+seconds, for tables). :data:`NULL_TRACER` is a shared no-op whose
+``span()`` returns a reusable empty context manager, so instrumentation
+left in library code costs two attribute lookups when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER",
+           "render_span_tree"]
+
+
+class Span:
+    """One timed region: name, start/end timestamps and child spans."""
+
+    __slots__ = ("name", "start", "end", "children")
+
+    def __init__(self, name: str, start: float):
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.children: list["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds; 0.0 while the span is still open."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-encodable nested representation."""
+        node: dict = {"name": self.name,
+                      "duration_s": round(self.duration, 6)}
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+
+class _SpanContext:
+    """Context manager that opens/closes one span on its tracer's stack."""
+
+    __slots__ = ("_tracer", "_name", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name)
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._close(self._span)
+
+
+class Tracer:
+    """Records nested spans into a forest of completed root spans.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (injectable for tests); defaults to
+        :func:`time.perf_counter`.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _SpanContext:
+        """Context manager timing one region; nests under any open span."""
+        return _SpanContext(self, name)
+
+    def _open(self, name: str) -> Span:
+        span = Span(name, self._clock())
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        # Tolerate mis-nested exits (e.g. a generator suspended mid-span):
+        # pop up to and including the span being closed.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # ------------------------------------------------------------------
+    def span_tree(self) -> list[dict]:
+        """Completed root spans as nested JSON-encodable dicts."""
+        return [span.to_dict() for span in self.roots]
+
+    def aggregate(self) -> dict[str, dict[str, float]]:
+        """Per-span-name totals: ``{name: {calls, total_s}}``."""
+        totals: dict[str, dict[str, float]] = {}
+        stack = list(self.roots)
+        while stack:
+            span = stack.pop()
+            entry = totals.setdefault(span.name, {"calls": 0, "total_s": 0.0})
+            entry["calls"] += 1
+            entry["total_s"] += span.duration
+            stack.extend(span.children)
+        return totals
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+
+class _NullSpanContext:
+    """Shared reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """Tracer that records nothing; ``span()`` returns a shared no-op."""
+
+    roots: list = []
+
+    def span(self, name: str) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def span_tree(self) -> list:
+        return []
+
+    def aggregate(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+def render_span_tree(tracer: Tracer, *, indent: int = 2) -> str:
+    """Human-readable span tree with durations, one span per line.
+
+    Sibling spans of the same name are merged into one line carrying the
+    call count and summed duration, matching the module docstring's shape.
+    """
+    lines = [f"{'span':<44}{'calls':>7}{'total':>10}"]
+
+    def render(spans: list[Span], depth: int) -> None:
+        merged: dict[str, dict] = {}
+        for span in spans:
+            entry = merged.setdefault(
+                span.name, {"calls": 0, "total": 0.0, "children": []})
+            entry["calls"] += 1
+            entry["total"] += span.duration
+            entry["children"].extend(span.children)
+        for name, entry in merged.items():
+            label = " " * (indent * depth) + name
+            lines.append(f"{label:<44}{entry['calls']:>6}×"
+                         f"{entry['total']:>9.3f}s")
+            render(entry["children"], depth + 1)
+
+    render(tracer.roots, 0)
+    return "\n".join(lines)

@@ -6,7 +6,9 @@ state to a versioned ``.npz`` bundle; :class:`EmbeddingService` answers
 ``embed(graphs)`` through a content-addressed LRU cache and a micro-batching
 queue; :class:`ModelRegistry` names several checkpoints under one directory;
 :class:`Telemetry` measures all of it (hit rates, batch sizes, latency
-percentiles via ``service.stats()``).
+percentiles via ``service.stats()``) — it is a shim over the shared
+:class:`repro.obs.MetricsRegistry`, so serving metrics land in the same
+substrate as training telemetry.
 """
 
 from .checkpoint import (

@@ -29,6 +29,8 @@ import numpy as np
 
 from ..gnn import GNNEncoder
 from ..graph import Batch, Graph
+from ..obs import current
+from ..obs.metrics import MetricsRegistry
 from ..tensor import no_grad
 from .telemetry import Telemetry
 
@@ -82,13 +84,16 @@ class EmbeddingService:
         Encoder forward passes never exceed this many graphs; larger requests
         are chunked, and the :meth:`submit` queue auto-flushes at this size.
     telemetry:
-        Optional shared :class:`Telemetry`; a private one is created if
-        omitted.
+        Optional shared registry — a :class:`Telemetry` or any
+        :class:`repro.obs.MetricsRegistry` (e.g. an
+        :class:`~repro.obs.Observer`'s ``metrics``, so serving traffic
+        lands in the same snapshot as training telemetry). A private
+        :class:`Telemetry` is created if omitted.
     """
 
     def __init__(self, encoder: GNNEncoder, *, cache_size: int = 4096,
                  max_batch_size: int = 64,
-                 telemetry: Telemetry | None = None):
+                 telemetry: "MetricsRegistry | None" = None):
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         if max_batch_size < 1:
@@ -151,7 +156,8 @@ class EmbeddingService:
         for start in range(0, len(items), self.max_batch_size):
             chunk = items[start:start + self.max_batch_size]
             batch = Batch([graph for _, graph in chunk])
-            with no_grad(), self.telemetry.timer("encoder_batch_seconds"):
+            with no_grad(), current().span("serve/encode"), \
+                    self.telemetry.timer("encoder_batch_seconds"):
                 rows = self.encoder.graph_representations(batch).data
             self.telemetry.increment("encoder_batches")
             self.telemetry.increment("encoder_graphs", len(chunk))
@@ -176,7 +182,8 @@ class EmbeddingService:
         graphs = list(graphs)
         if not graphs:
             raise ValueError("embed() requires at least one graph")
-        with self.telemetry.timer("embed_seconds"):
+        with current().span("serve/embed"), \
+                self.telemetry.timer("embed_seconds"):
             self.telemetry.increment("requests")
             digests = [graph_digest(graph) for graph in graphs]
             rows: list[np.ndarray | None] = [None] * len(graphs)

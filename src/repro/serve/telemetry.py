@@ -1,93 +1,35 @@
-"""Lightweight serving telemetry: counters and latency/size recorders.
+"""Serving telemetry — a thin shim over :class:`repro.obs.MetricsRegistry`.
 
-The serving layer needs just enough observability to answer "is the cache
-working and how slow is a request" — monotonically increasing counters plus
-bounded reservoirs of recent observations with percentile summaries. No
-external dependencies, no background threads; everything is synchronous and
-costs a dict lookup per event.
+Historically the serving layer had its own counters/reservoir implementation;
+that code now lives in the shared observability core (``repro.obs.metrics``)
+where training, evaluation and benchmarks record into the same substrate.
+:class:`Telemetry` survives as the serving-facing name so existing callers
+(:class:`EmbeddingService`, the ``embed --stats`` CLI) and their tests are
+unchanged: same constructor, same ``increment / observe / timer /
+percentile / summary / snapshot / reset`` surface, same snapshot shape.
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from contextlib import contextmanager
-
-import numpy as np
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["Telemetry"]
 
 
-class Telemetry:
-    """Named counters and bounded observation series.
+class Telemetry(MetricsRegistry):
+    """Named counters and bounded observation series (serving shim).
 
     Parameters
     ----------
     max_samples:
-        Per-series reservoir size. Old observations fall off the front, so
-        percentiles reflect recent behaviour and memory stays bounded no
-        matter how long the service runs.
+        Per-series reservoir size (see :class:`MetricsRegistry`).
     """
 
-    def __init__(self, max_samples: int = 2048):
-        self.max_samples = max_samples
-        self._counters: dict[str, float] = {}
-        self._series: dict[str, deque] = {}
-
-    # ------------------------------------------------------------------
-    def increment(self, name: str, by: float = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + by
-
-    def count(self, name: str) -> float:
-        return self._counters.get(name, 0)
-
-    # ------------------------------------------------------------------
-    def observe(self, name: str, value: float) -> None:
-        """Record one observation (a latency, a batch size, …)."""
-        series = self._series.get(name)
-        if series is None:
-            series = self._series[name] = deque(maxlen=self.max_samples)
-        series.append(float(value))
-
-    @contextmanager
-    def timer(self, name: str):
-        """Time the enclosed block; observes elapsed seconds under ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.observe(name, time.perf_counter() - start)
-
-    # ------------------------------------------------------------------
-    def percentile(self, name: str, q: float) -> float:
-        """q-th percentile (0–100) of the recorded series; NaN if empty."""
-        series = self._series.get(name)
-        if not series:
-            return float("nan")
-        return float(np.percentile(np.fromiter(series, dtype=float), q))
-
-    def summary(self, name: str) -> dict[str, float]:
-        """count / mean / p50 / p95 / max of one series (NaNs if empty)."""
-        series = self._series.get(name)
-        if not series:
-            return {"count": 0, "mean": float("nan"), "p50": float("nan"),
-                    "p95": float("nan"), "max": float("nan")}
-        values = np.fromiter(series, dtype=float)
-        return {
-            "count": len(values),
-            "mean": float(values.mean()),
-            "p50": float(np.percentile(values, 50)),
-            "p95": float(np.percentile(values, 95)),
-            "max": float(values.max()),
-        }
-
     def snapshot(self) -> dict:
-        """All counters plus a summary of every observation series."""
-        return {
-            "counters": dict(self._counters),
-            "series": {name: self.summary(name) for name in self._series},
-        }
+        """All counters plus a summary of every observation series.
 
-    def reset(self) -> None:
-        self._counters.clear()
-        self._series.clear()
+        The serving snapshot predates gauges; it keeps its original
+        two-key shape (``counters`` / ``series``) for schema stability.
+        """
+        full = super().snapshot()
+        return {"counters": full["counters"], "series": full["series"]}

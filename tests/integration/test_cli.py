@@ -88,3 +88,43 @@ def test_embed_rejects_mismatched_features(tmp_path):
     with pytest.raises(SystemExit, match="node features"):
         main(["embed", "--checkpoint", str(checkpoint),
               "--dataset", "PROTEINS", "--scale", "0.1"])
+
+
+def test_pretrain_with_log_dir_writes_log_manifest_and_reports(
+        tmp_path, capsys):
+    log_dir = tmp_path / "runs"
+    main(["pretrain", "--method", "SGCL", "--dataset", "MUTAG",
+          "--epochs", "2", "--scale", "0.1", "--log-dir", str(log_dir),
+          "--trace"])
+    out = capsys.readouterr().out
+    assert "SGCL on MUTAG" in out
+    assert "pretrain/epoch" in out  # --trace prints the span tree
+
+    logs = sorted(log_dir.glob("run-*.jsonl"))
+    manifests = sorted(log_dir.glob("run-*.manifest.json"))
+    assert len(logs) == 1 and len(manifests) == 1
+
+    from repro.obs import RunManifest, load_events
+
+    events = load_events(logs[0])
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "run_start"
+    assert kinds.count("epoch") == 2
+    assert "eval" in kinds
+    assert "run_end" in kinds
+    assert kinds[-1] == "trace"
+    epoch = next(e for e in events if e["event"] == "epoch")
+    for key in ("loss_s", "theta_w", "k_v_mean", "k_v_std", "k_v_min",
+                "k_v_max", "drop_fraction", "grad_norm"):
+        assert key in epoch
+
+    manifest = RunManifest.read(manifests[0])
+    assert manifest["dataset"]["name"] == "MUTAG"
+    assert len(manifest["dataset"]["fingerprint"]) == 16
+    assert manifest["config"]["epochs"] == 2
+
+    main(["report", str(logs[0])])
+    report_out = capsys.readouterr().out
+    assert "== training: SGCL" in report_out
+    assert "== spans ==" in report_out
+    assert "lipschitz/generator" in report_out

@@ -1,0 +1,66 @@
+"""Tests for the shared metrics registry (and the serving Telemetry shim)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs import MetricsRegistry
+from repro.serve import Telemetry
+
+
+def test_counters_and_gauges_are_independent_namespaces():
+    registry = MetricsRegistry()
+    registry.increment("n", 2)
+    registry.set_gauge("n", 7.0)
+    assert registry.count("n") == 2
+    assert registry.gauge("n") == 7.0
+
+
+def test_gauge_last_value_wins_and_defaults_to_nan():
+    registry = MetricsRegistry()
+    assert math.isnan(registry.gauge("unset"))
+    registry.set_gauge("level", 1.0)
+    registry.set_gauge("level", 3.0)
+    assert registry.gauge("level") == 3.0
+
+
+def test_histogram_percentiles_and_reservoir_bound():
+    registry = MetricsRegistry(max_samples=50)
+    for value in range(100):
+        registry.observe("x", value)
+    summary = registry.summary("x")
+    assert summary["count"] == 50
+    assert summary["max"] == 99  # most recent survive
+    assert registry.percentile("x", 0) == 50  # oldest fell off the front
+
+
+def test_snapshot_includes_gauges():
+    registry = MetricsRegistry()
+    registry.increment("hits")
+    registry.set_gauge("depth", 4)
+    registry.observe("sizes", 1.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"hits": 1}
+    assert snapshot["gauges"] == {"depth": 4.0}
+    assert snapshot["series"]["sizes"]["count"] == 1
+    registry.reset()
+    assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                   "series": {}}
+
+
+def test_timer_observes_elapsed_seconds():
+    registry = MetricsRegistry()
+    with registry.timer("block"):
+        sum(range(1000))
+    assert registry.summary("block")["count"] == 1
+
+
+def test_serving_telemetry_is_a_registry_shim():
+    telemetry = Telemetry(max_samples=16)
+    assert isinstance(telemetry, MetricsRegistry)
+    telemetry.increment("hits")
+    telemetry.observe("latency", 0.5)
+    # The serving snapshot keeps its original two-key schema (no gauges).
+    snapshot = telemetry.snapshot()
+    assert set(snapshot) == {"counters", "series"}
+    assert snapshot["counters"] == {"hits": 1}

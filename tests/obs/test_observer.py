@@ -1,0 +1,96 @@
+"""Tests for the Observer and the ambient current() lookup."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    NULL_OBSERVER,
+    MemorySink,
+    MetricsRegistry,
+    Observer,
+    current,
+)
+
+
+def test_default_current_is_the_shared_noop():
+    assert current() is NULL_OBSERVER
+    assert not current().enabled
+
+
+def test_activate_installs_and_restores():
+    observer = Observer()
+    assert current() is NULL_OBSERVER
+    with observer.activate():
+        assert current() is observer
+    assert current() is NULL_OBSERVER
+
+
+def test_activation_nests_like_a_stack():
+    outer, inner = Observer(), Observer()
+    with outer.activate():
+        with inner.activate():
+            assert current() is inner
+        assert current() is outer
+
+
+def test_activation_restores_after_exceptions():
+    observer = Observer()
+    try:
+        with observer.activate():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert current() is NULL_OBSERVER
+
+
+def test_event_envelope_keys():
+    sink = MemorySink()
+    observer = Observer(sinks=[sink], run_id="abc", clock=lambda: 12.5)
+    payload = observer.event("epoch", loss=1.0)
+    assert payload == {"event": "epoch", "ts": 12.5, "run": "abc",
+                       "loss": 1.0}
+    assert sink.events[0] == payload
+
+
+def test_metrics_and_spans_delegate():
+    observer = Observer()
+    observer.increment("steps", 3)
+    observer.set_gauge("lr", 0.001)
+    observer.observe("latency", 0.5)
+    with observer.span("region"):
+        pass
+    assert observer.metrics.count("steps") == 3
+    assert observer.metrics.gauge("lr") == 0.001
+    assert observer.tracer.aggregate()["region"]["calls"] == 1
+
+
+def test_emit_trace_carries_tree_and_aggregate():
+    sink = MemorySink()
+    observer = Observer(sinks=[sink])
+    with observer.span("a"):
+        with observer.span("b"):
+            pass
+    event = observer.emit_trace()
+    assert event["event"] == "trace"
+    assert event["spans"][0]["name"] == "a"
+    assert set(event["aggregate"]) == {"a", "b"}
+
+
+def test_shared_metrics_registry_can_be_injected():
+    registry = MetricsRegistry()
+    observer = Observer(metrics=registry)
+    observer.increment("hits")
+    assert registry.count("hits") == 1
+
+
+def test_null_observer_is_inert():
+    NULL_OBSERVER.increment("x")
+    NULL_OBSERVER.observe("x", 1.0)
+    NULL_OBSERVER.set_gauge("x", 1.0)
+    with NULL_OBSERVER.span("x"):
+        pass
+    with NULL_OBSERVER.timer("x"):
+        pass
+    assert NULL_OBSERVER.event("anything", a=1) == {}
+    assert NULL_OBSERVER.emit_trace() == {}
+    assert NULL_OBSERVER.tracer.span_tree() == []
+    NULL_OBSERVER.close()

@@ -1,0 +1,92 @@
+"""Golden-output tests for run-log aggregation and the report CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import render_report, render_run_report
+
+EVENTS = [
+    {"event": "run_start", "ts": 0.0, "run": "r1", "command": "pretrain",
+     "method": "SGCL", "dataset": "MUTAG"},
+    {"event": "epoch", "ts": 1.0, "run": "r1", "method": "SGCL",
+     "epoch": 1, "loss": 3.5, "loss_s": 2.5, "loss_c": 2.9,
+     "theta_w": 22.0, "grad_norm": 5.5, "k_v_mean": 0.75, "k_v_std": 0.31,
+     "k_v_min": 0.2, "k_v_max": 1.4, "drop_fraction": 0.101,
+     "num_batches": 7, "epoch_seconds": 0.07},
+    {"event": "epoch", "ts": 2.0, "run": "r1", "method": "SGCL",
+     "epoch": 2, "loss": 3.25, "loss_s": 2.25, "loss_c": 2.7,
+     "theta_w": 21.9, "grad_norm": 4.7, "k_v_mean": 0.74, "k_v_std": 0.30,
+     "k_v_min": 0.2, "k_v_max": 1.4, "drop_fraction": 0.101,
+     "num_batches": 7, "epoch_seconds": 0.09},
+    {"event": "eval", "ts": 3.0, "run": "r1", "protocol": "unsupervised",
+     "method": "SGCL", "dataset": "MUTAG", "seed": 0, "accuracy": 0.8125},
+    {"event": "trace", "ts": 4.0, "run": "r1", "spans": [],
+     "aggregate": {"pretrain/epoch": {"calls": 2, "total_s": 0.16},
+                   "pretrain/batch": {"calls": 14, "total_s": 0.15}}},
+    {"event": "run_end", "ts": 5.0, "run": "r1", "wall_seconds": 5.0},
+]
+
+GOLDEN_FRAGMENTS = [
+    "run r1: command=pretrain, method=SGCL, dataset=MUTAG",
+    "== training: SGCL (run r1, 2 epochs) ==",
+    "L_s",
+    "K_V mean",
+    "drop%",
+    "3.5000",   # epoch-1 loss cell
+    "10.1%",    # drop fraction cell
+    "mean epoch time 0.08s, final loss 3.2500",
+    "== evaluation ==",
+    "protocol=unsupervised, method=SGCL, dataset=MUTAG, seed=0, "
+    "accuracy=0.8125",
+    "== spans ==",
+    "pretrain/epoch",
+    "pretrain/batch                        14      0.150s",
+    "run r1 finished: wall_seconds=5.0",
+]
+
+
+def test_render_report_golden_fragments():
+    rendered = render_report(EVENTS)
+    for fragment in GOLDEN_FRAGMENTS:
+        assert fragment in rendered, f"missing: {fragment!r}"
+    # Section order is stable: start → training → eval → spans → end.
+    positions = [rendered.index(f) for f in (
+        "run r1:", "== training", "== evaluation", "== spans",
+        "run r1 finished")]
+    assert positions == sorted(positions)
+
+
+def test_report_cli_renders_a_log_file(tmp_path, capsys):
+    log = tmp_path / "run-r1.jsonl"
+    log.write_text("\n".join(json.dumps(e) for e in EVENTS) + "\n")
+    main(["report", str(log)])
+    out = capsys.readouterr().out
+    for fragment in GOLDEN_FRAGMENTS:
+        assert fragment in out
+
+
+def test_render_run_report_rejects_missing_event_key(tmp_path):
+    log = tmp_path / "bad.jsonl"
+    log.write_text('{"not_an_event": 1}\n')
+    with pytest.raises(ValueError, match="'event' key"):
+        render_run_report(log)
+
+
+def test_report_of_empty_log_is_graceful(tmp_path):
+    log = tmp_path / "empty.jsonl"
+    log.write_text("")
+    assert render_run_report(log) == "(no renderable events)"
+
+
+def test_epoch_table_skips_absent_columns():
+    events = [{"event": "epoch", "run": "b", "method": "GraphCL",
+               "epoch": 1, "loss": 0.9, "num_batches": 3,
+               "epoch_seconds": 0.01}]
+    rendered = render_report(events)
+    assert "loss" in rendered
+    assert "K_V" not in rendered  # baselines have no Lipschitz stats
+    assert "drop%" not in rendered

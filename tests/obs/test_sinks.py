@@ -1,0 +1,113 @@
+"""Tests for event sinks: ring buffer, JSONL round-trip, no-op, console."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from repro.obs import (
+    ConsoleSink,
+    JSONLSink,
+    MemorySink,
+    NullSink,
+    Observer,
+    load_events,
+)
+
+
+def test_memory_sink_is_a_bounded_ring_buffer():
+    sink = MemorySink(capacity=3)
+    for i in range(10):
+        sink.emit({"event": "tick", "i": i})
+    assert [e["i"] for e in sink.events] == [7, 8, 9]
+    assert sink.of_kind("tick")[0]["i"] == 7
+    assert sink.of_kind("other") == []
+
+
+def test_memory_sink_copies_events():
+    sink = MemorySink()
+    payload = {"event": "x", "value": 1}
+    sink.emit(payload)
+    payload["value"] = 2
+    assert sink.events[0]["value"] == 1
+
+
+def test_jsonl_round_trip_every_event_parses(tmp_path):
+    path = tmp_path / "run.jsonl"
+    sink = JSONLSink(path)
+    sink.emit({"event": "epoch", "epoch": 1, "loss": 0.5})
+    sink.emit({"event": "epoch", "epoch": 2, "loss": np.float64(0.25),
+               "k_v": np.array([1.0, 2.0])})
+    sink.close()
+    events = load_events(path)
+    assert len(events) == 2
+    assert events[0] == {"event": "epoch", "epoch": 1, "loss": 0.5}
+    # numpy payloads are JSON-encoded transparently
+    assert events[1]["loss"] == 0.25
+    assert events[1]["k_v"] == [1.0, 2.0]
+
+
+def test_jsonl_sink_appends_and_keys_are_sorted(tmp_path):
+    path = tmp_path / "run.jsonl"
+    first = JSONLSink(path)
+    first.emit({"event": "a", "z": 1, "a": 2})
+    first.close()
+    second = JSONLSink(path)
+    second.emit({"event": "b"})
+    second.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2  # append-only: first run's event survives
+    parsed = json.loads(lines[0])
+    assert list(json.loads(lines[0])) == sorted(parsed)  # schema-stable
+
+
+def test_load_events_rejects_corrupt_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"event": "ok"}\n{"event": truncated\n')
+    try:
+        load_events(path)
+    except ValueError as error:
+        assert "bad.jsonl:2" in str(error)
+    else:
+        raise AssertionError("corrupt line should raise")
+
+
+def test_null_sink_has_no_side_effects(tmp_path):
+    sink = NullSink()
+    sink.emit({"event": "anything", "huge": list(range(100))})
+    sink.close()
+    assert list(tmp_path.iterdir()) == []  # nothing written anywhere
+    assert not vars(sink)  # and nothing retained
+
+
+def test_console_sink_formats_epoch_events():
+    stream = io.StringIO()
+    sink = ConsoleSink(stream=stream)
+    sink.emit({"event": "epoch", "epoch": 3, "loss": 1.2345,
+               "loss_s": 1.0, "k_v_mean": 0.8, "k_v_std": 0.2,
+               "drop_fraction": 0.1, "epoch_seconds": 0.5})
+    out = stream.getvalue()
+    assert "[epoch 3]" in out
+    assert "loss=1.2345" in out
+    assert "K_V=0.800±0.200" in out
+    assert "drop=10.0%" in out
+
+
+def test_console_sink_falls_back_to_key_value_lines():
+    stream = io.StringIO()
+    ConsoleSink(stream=stream).emit(
+        {"event": "custom", "ts": 1.0, "run": "r", "answer": 42})
+    assert stream.getvalue() == "[custom] answer=42\n"
+
+
+def test_observer_fans_out_to_all_sinks(tmp_path):
+    memory = MemorySink()
+    jsonl = JSONLSink(tmp_path / "run.jsonl")
+    observer = Observer(sinks=[memory, jsonl], run_id="fan", clock=lambda: 5.0)
+    observer.event("ping", value=1)
+    observer.close()
+    assert memory.events[0] == {"event": "ping", "ts": 5.0, "run": "fan",
+                                "value": 1}
+    assert load_events(tmp_path / "run.jsonl") == list(memory.events)

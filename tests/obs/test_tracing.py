@@ -1,0 +1,107 @@
+"""Tests for nested span tracing: structure, timing, aggregation."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.obs import NULL_TRACER, Tracer, render_span_tree
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing 1s per reading."""
+
+    def __init__(self):
+        self._ticks = itertools.count()
+
+    def __call__(self) -> float:
+        return float(next(self._ticks))
+
+
+def test_spans_nest_under_the_open_span():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner"):
+            pass
+    assert [s.name for s in tracer.roots] == ["outer"]
+    outer = tracer.roots[0]
+    assert [c.name for c in outer.children] == ["inner", "inner"]
+    assert all(not c.children for c in outer.children)
+
+
+def test_timing_is_monotone_and_children_fit_inside_parent():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    outer = tracer.roots[0]
+    inner = outer.children[0]
+    assert outer.end > outer.start
+    assert inner.end > inner.start
+    assert outer.start <= inner.start <= inner.end <= outer.end
+    assert inner.duration <= outer.duration
+
+
+def test_sequential_roots_do_not_nest():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    assert [s.name for s in tracer.roots] == ["a", "b"]
+
+
+def test_aggregate_counts_calls_and_sums_time():
+    tracer = Tracer(clock=FakeClock())
+    for _ in range(3):
+        with tracer.span("epoch"):
+            with tracer.span("batch"):
+                pass
+    aggregate = tracer.aggregate()
+    assert aggregate["epoch"]["calls"] == 3
+    assert aggregate["batch"]["calls"] == 3
+    # Fake clock: batch spans last 1s each, epoch spans 3s each.
+    assert aggregate["batch"]["total_s"] == 3.0
+    assert aggregate["epoch"]["total_s"] == 9.0
+
+
+def test_span_tree_is_json_shaped():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    tree = tracer.span_tree()
+    assert tree[0]["name"] == "outer"
+    assert tree[0]["children"][0]["name"] == "inner"
+    assert tree[0]["duration_s"] >= tree[0]["children"][0]["duration_s"]
+
+
+def test_reset_clears_state():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("x"):
+        pass
+    tracer.reset()
+    assert tracer.roots == []
+    assert tracer.aggregate() == {}
+
+
+def test_render_span_tree_merges_same_named_siblings():
+    tracer = Tracer(clock=FakeClock())
+    for _ in range(2):
+        with tracer.span("epoch"):
+            with tracer.span("batch"):
+                pass
+    rendered = render_span_tree(tracer)
+    assert rendered.count("epoch") == 1
+    assert "2×" in rendered
+    assert "batch" in rendered
+
+
+def test_null_tracer_records_nothing():
+    with NULL_TRACER.span("anything"):
+        pass
+    assert NULL_TRACER.span_tree() == []
+    assert NULL_TRACER.aggregate() == {}
+    # span() hands back a shared object — no per-call allocation.
+    assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

@@ -1,0 +1,142 @@
+"""Instrumented training: epoch events, spans, K_V consistency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_method
+from repro.core import SGCLConfig, SGCLTrainer
+from repro.data import DataLoader, load_dataset
+from repro.obs import MemorySink, Observer
+
+REQUIRED_EPOCH_KEYS = {
+    "event", "ts", "run", "method", "epoch", "loss", "loss_s",
+    "k_v_mean", "k_v_std", "k_v_min", "k_v_max", "drop_fraction",
+    "grad_norm", "epoch_seconds", "num_batches",
+}
+
+
+@pytest.fixture(scope="module")
+def mutag():
+    return load_dataset("MUTAG", seed=0, scale=0.1)
+
+
+def test_traced_pretrain_emits_schema_stable_epoch_events(mutag):
+    sink = MemorySink()
+    observer = Observer(sinks=[sink])
+    trainer = SGCLTrainer(mutag.num_features,
+                          SGCLConfig(epochs=2, batch_size=32, seed=0))
+    with observer.activate():
+        history = trainer.pretrain(mutag.graphs)
+    epochs = sink.of_kind("epoch")
+    assert len(epochs) == 2
+    for i, event in enumerate(epochs):
+        assert REQUIRED_EPOCH_KEYS <= set(event)
+        assert event["method"] == "SGCL"
+        assert event["epoch"] == i + 1
+        assert event["k_v_min"] <= event["k_v_mean"] <= event["k_v_max"]
+        assert 0.0 <= event["drop_fraction"] <= 1.0
+        assert event["grad_norm"] > 0.0
+        assert event["epoch_seconds"] > 0.0
+    # History rows carry the same telemetry (minus the event envelope).
+    assert history[0]["k_v_mean"] == epochs[0]["k_v_mean"]
+    assert history[0]["loss"] == epochs[0]["loss"]
+
+
+def test_epoch_kv_stats_match_lipschitz_generator_output(mutag):
+    """The k_v_* fields must be the stats of ``generator.node_constants``.
+
+    Two trainers share a seed, so their RNG streams and initial parameters
+    are identical. One computes the expected constants directly from
+    ``lipschitz.py`` on the exact batches the first epoch will see; the
+    other trains one epoch under an observer. With one batch per epoch the
+    epoch aggregation is the identity, so the event's stats must equal the
+    direct computation bit-for-bit.
+    """
+    config = SGCLConfig(epochs=1, batch_size=len(mutag.graphs), seed=3)
+
+    reference = SGCLTrainer(mutag.num_features, config)
+    loader = DataLoader(mutag.graphs, config.batch_size, shuffle=True,
+                        rng=reference._shuffle_rng)
+    batches = list(loader)
+    assert len(batches) == 1
+    constants = reference.model.generator.node_constants(batches[0]).data
+
+    sink = MemorySink()
+    trainer = SGCLTrainer(mutag.num_features, config)
+    trainer.pretrain(mutag.graphs, observer=Observer(sinks=[sink]))
+    event = sink.of_kind("epoch")[0]
+    assert event["k_v_mean"] == pytest.approx(float(constants.mean()),
+                                              abs=1e-12)
+    assert event["k_v_std"] == pytest.approx(float(constants.std()),
+                                             abs=1e-12)
+    assert event["k_v_min"] == pytest.approx(float(constants.min()),
+                                             abs=1e-12)
+    assert event["k_v_max"] == pytest.approx(float(constants.max()),
+                                             abs=1e-12)
+
+
+def test_traced_pretrain_records_span_tree(mutag):
+    observer = Observer()
+    trainer = SGCLTrainer(mutag.num_features,
+                          SGCLConfig(epochs=1, batch_size=64, seed=0))
+    with observer.activate():
+        trainer.pretrain(mutag.graphs)
+    aggregate = observer.tracer.aggregate()
+    assert aggregate["pretrain/epoch"]["calls"] == 1
+    assert aggregate["pretrain/batch"]["calls"] >= 1
+    assert aggregate["lipschitz/generator"]["calls"] >= 1
+    assert aggregate["augment/sample"]["calls"] >= 1
+    # Nesting: batches inside the epoch, generator inside a batch.
+    epoch_span = next(s for s in observer.tracer.roots
+                      if s.name == "pretrain/epoch")
+    batch_names = {c.name for c in epoch_span.children}
+    assert batch_names == {"pretrain/batch"}
+    inner = {c.name for c in epoch_span.children[0].children}
+    assert "lipschitz/generator" in inner
+    assert "augment/sample" in inner
+
+
+def test_untraced_pretrain_keeps_history_telemetry(mutag):
+    """History keeps the K_V/drop columns even with observability off."""
+    trainer = SGCLTrainer(mutag.num_features,
+                          SGCLConfig(epochs=1, batch_size=64, seed=0))
+    history = trainer.pretrain(mutag.graphs)
+    row = history[0]
+    assert {"epoch", "loss", "k_v_mean", "drop_fraction",
+            "epoch_seconds", "num_batches"} <= set(row)
+    assert row["epoch"] == 1
+
+
+def test_observer_does_not_change_training_trajectory(mutag):
+    config = SGCLConfig(epochs=2, batch_size=32, seed=0)
+    plain = SGCLTrainer(mutag.num_features, config)
+    plain_history = plain.pretrain(mutag.graphs)
+    traced = SGCLTrainer(mutag.num_features, config)
+    with Observer(sinks=[MemorySink()]).activate():
+        traced_history = traced.pretrain(mutag.graphs)
+    for a, b in zip(plain_history, traced_history):
+        assert a["loss"] == b["loss"]
+        assert a["k_v_mean"] == b["k_v_mean"]
+
+
+def test_baseline_pretrain_emits_epoch_events(mutag):
+    sink = MemorySink()
+    model = make_method("GraphCL", mutag.num_features, seed=0)
+    with Observer(sinks=[sink]).activate():
+        model.pretrain(mutag.graphs, epochs=2)
+    epochs = sink.of_kind("epoch")
+    assert len(epochs) == 2
+    assert epochs[0]["method"] == "GraphCL"
+    assert epochs[1]["epoch"] == 2
+    assert np.isfinite(epochs[0]["loss"])
+
+
+def test_checkpointed_history_round_trips_new_columns(mutag, tmp_path):
+    trainer = SGCLTrainer(mutag.num_features,
+                          SGCLConfig(epochs=1, batch_size=64, seed=0))
+    trainer.pretrain(mutag.graphs)
+    path = trainer.save_checkpoint(tmp_path / "ck.npz")
+    resumed = SGCLTrainer.from_checkpoint(path)
+    assert resumed.history == trainer.history
