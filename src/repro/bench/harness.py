@@ -61,31 +61,69 @@ def results_dir() -> Path:
 # ----------------------------------------------------------------------
 # Protocol runners
 # ----------------------------------------------------------------------
+class _UnsupervisedSeedJob:
+    """Picklable one-seed cell of the unsupervised protocol.
+
+    The serial and parallel paths of :func:`run_unsupervised` both call
+    this object, so a seed's accuracy depends only on the job parameters
+    and the seed — never on the worker count.
+    """
+
+    def __init__(self, method: str, dataset_name: str, *, scale: float,
+                 node_scale: float, epochs: int, folds: int, classifier: str,
+                 method_overrides: dict | None):
+        self.method = method
+        self.dataset_name = dataset_name
+        self.scale = scale
+        self.node_scale = node_scale
+        self.epochs = epochs
+        self.folds = folds
+        self.classifier = classifier
+        self.method_overrides = method_overrides or {}
+
+    def __call__(self, seed: int) -> float:
+        dataset = load_dataset(self.dataset_name, seed=seed, scale=self.scale,
+                               node_scale=self.node_scale)
+        rng = np.random.default_rng(seed)
+        pretrain_idx, _ = train_test_split(len(dataset), 0.1, rng)
+        model = make_method(self.method, dataset.num_features, seed=seed,
+                            **self.method_overrides)
+        model.pretrain([dataset[i] for i in pretrain_idx],
+                       epochs=self.epochs)
+        embeddings = embed_dataset(model.encoder, dataset)
+        accuracy, _ = cross_validated_accuracy(
+            embeddings, dataset.labels(), k=self.folds,
+            classifier=self.classifier, seed=seed, workers=1)
+        return accuracy
+
+
 def run_unsupervised(method: str, dataset_name: str, *, seeds: list[int],
                      scale: float = 0.05, node_scale: float = 1.0,
                      epochs: int = 5, folds: int = 5,
                      classifier: str = "logreg",
-                     method_overrides: dict | None = None
-                     ) -> tuple[float, float]:
+                     method_overrides: dict | None = None,
+                     workers: int | None = None) -> tuple[float, float]:
     """Unsupervised protocol (Table III): pretrain → embed → k-fold CV.
 
     Follows §VI.B: the encoder pre-trains on 90 % of the data treated as
     unlabeled; embeddings of all graphs are then classified with k-fold CV.
     Returns accuracy mean/std (%) over seeds.
+
+    ``workers`` fans the seeds out over worker processes (default:
+    ``REPRO_WORKERS`` or serial); each seed is an independent deterministic
+    job, so results are bit-identical for any worker count. The inner CV
+    already runs inside a seed job, so folds stay serial (``workers=1``)
+    to avoid nested pools.
     """
+    from ..runtime import ParallelExecutor
+
+    job = _UnsupervisedSeedJob(
+        method, dataset_name, scale=scale, node_scale=node_scale,
+        epochs=epochs, folds=folds, classifier=classifier,
+        method_overrides=method_overrides)
+    accuracies = ParallelExecutor(workers).map(job, seeds)
     scores = []
-    for seed in seeds:
-        dataset = load_dataset(dataset_name, seed=seed, scale=scale,
-                               node_scale=node_scale)
-        rng = np.random.default_rng(seed)
-        pretrain_idx, _ = train_test_split(len(dataset), 0.1, rng)
-        model = make_method(method, dataset.num_features, seed=seed,
-                            **(method_overrides or {}))
-        model.pretrain([dataset[i] for i in pretrain_idx], epochs=epochs)
-        embeddings = embed_dataset(model.encoder, dataset)
-        accuracy, _ = cross_validated_accuracy(
-            embeddings, dataset.labels(), k=folds, classifier=classifier,
-            seed=seed)
+    for seed, accuracy in zip(seeds, accuracies):
         scores.append(accuracy * 100.0)
         current().event("eval", protocol="unsupervised", method=method,
                         dataset=dataset_name, seed=seed, accuracy=accuracy)
@@ -95,9 +133,14 @@ def run_unsupervised(method: str, dataset_name: str, *, seeds: list[int],
 def run_kernel_unsupervised(kernel: str, dataset_name: str, *,
                             seeds: list[int], scale: float = 0.05,
                             node_scale: float = 1.0, folds: int = 5,
-                            classifier: str = "logreg"
+                            classifier: str = "logreg",
+                            workers: int | None = None
                             ) -> tuple[float, float]:
-    """Kernel-method branch of Table III: explicit feature map → k-fold CV."""
+    """Kernel-method branch of Table III: explicit feature map → k-fold CV.
+
+    Kernel feature maps are cheap, so ``workers`` parallelises the CV
+    folds rather than the seeds.
+    """
     scores = []
     for seed in seeds:
         dataset = load_dataset(dataset_name, seed=seed, scale=scale,
@@ -105,31 +148,58 @@ def run_kernel_unsupervised(kernel: str, dataset_name: str, *,
         features = kernel_feature_map(kernel, dataset.graphs)
         accuracy, _ = cross_validated_accuracy(
             features, dataset.labels(), k=folds, classifier=classifier,
-            seed=seed)
+            seed=seed, workers=workers)
         scores.append(accuracy * 100.0)
     return mean_std(scores)
+
+
+class _TransferSeedJob:
+    """Picklable one-seed cell of the transfer protocol."""
+
+    def __init__(self, method: str, downstream_name: str, *,
+                 pretrain_scale: float, downstream_scale: float,
+                 pretrain_epochs: int, finetune_epochs: int,
+                 method_overrides: dict | None):
+        self.method = method
+        self.downstream_name = downstream_name
+        self.pretrain_scale = pretrain_scale
+        self.downstream_scale = downstream_scale
+        self.pretrain_epochs = pretrain_epochs
+        self.finetune_epochs = finetune_epochs
+        self.method_overrides = method_overrides or {}
+
+    def __call__(self, seed: int) -> float:
+        corpus = load_dataset("ZINC", seed=seed, scale=self.pretrain_scale)
+        model = make_method(self.method, corpus.num_features, seed=seed,
+                            **self.method_overrides)
+        model.pretrain(corpus.graphs, epochs=self.pretrain_epochs)
+        downstream = load_dataset(self.downstream_name, seed=seed,
+                                  scale=self.downstream_scale)
+        splits = scaffold_split(downstream)
+        rng = np.random.default_rng(seed + 1)
+        return finetune_multitask(model.encoder, downstream, splits,
+                                  epochs=self.finetune_epochs, rng=rng)
 
 
 def run_transfer(method: str, downstream_name: str, *, seeds: list[int],
                  pretrain_scale: float = 0.1, downstream_scale: float = 0.1,
                  pretrain_epochs: int = 3, finetune_epochs: int = 8,
-                 method_overrides: dict | None = None) -> tuple[float, float]:
+                 method_overrides: dict | None = None,
+                 workers: int | None = None) -> tuple[float, float]:
     """Transfer protocol (Table IV): ZincLike pretrain → scaffold finetune.
 
-    Returns ROC-AUC mean/std (%) over seeds.
+    Returns ROC-AUC mean/std (%) over seeds. ``workers`` fans the seeds
+    out (default: ``REPRO_WORKERS`` or serial) with bit-identical results.
     """
+    from ..runtime import ParallelExecutor
+
+    job = _TransferSeedJob(
+        method, downstream_name, pretrain_scale=pretrain_scale,
+        downstream_scale=downstream_scale, pretrain_epochs=pretrain_epochs,
+        finetune_epochs=finetune_epochs, method_overrides=method_overrides)
+    aucs = ParallelExecutor(workers).map(job, seeds)
     scores = []
-    for seed in seeds:
-        corpus = load_dataset("ZINC", seed=seed, scale=pretrain_scale)
-        model = make_method(method, corpus.num_features, seed=seed,
-                            **(method_overrides or {}))
-        model.pretrain(corpus.graphs, epochs=pretrain_epochs)
-        downstream = load_dataset(downstream_name, seed=seed,
-                                  scale=downstream_scale)
-        splits = scaffold_split(downstream)
-        rng = np.random.default_rng(seed + 1)
-        auc = finetune_multitask(model.encoder, downstream, splits,
-                                 epochs=finetune_epochs, rng=rng)
+    for seed, auc in zip(seeds, aucs):
         if not np.isnan(auc):
             scores.append(auc * 100.0)
             current().event("eval", protocol="transfer", method=method,
@@ -138,31 +208,58 @@ def run_transfer(method: str, downstream_name: str, *, seeds: list[int],
     return mean_std(scores) if scores else (50.0, 0.0)
 
 
+class _SemiSupervisedSeedJob:
+    """Picklable one-seed cell of the semi-supervised protocol."""
+
+    def __init__(self, method: str, dataset_name: str, label_rate: float, *,
+                 scale: float, node_scale: float, pretrain_epochs: int,
+                 finetune_epochs: int, method_overrides: dict | None):
+        self.method = method
+        self.dataset_name = dataset_name
+        self.label_rate = label_rate
+        self.scale = scale
+        self.node_scale = node_scale
+        self.pretrain_epochs = pretrain_epochs
+        self.finetune_epochs = finetune_epochs
+        self.method_overrides = method_overrides or {}
+
+    def __call__(self, seed: int) -> float:
+        dataset = load_dataset(self.dataset_name, seed=seed, scale=self.scale,
+                               node_scale=self.node_scale)
+        rng = np.random.default_rng(seed)
+        train_idx, test_idx = train_test_split(len(dataset), 0.2, rng)
+        model = make_method(self.method, dataset.num_features, seed=seed,
+                            **self.method_overrides)
+        model.pretrain([dataset[i] for i in train_idx],
+                       epochs=self.pretrain_epochs)
+        labels = dataset.labels()
+        labelled_local = label_rate_split(labels[train_idx], self.label_rate,
+                                          rng)
+        labelled_idx = train_idx[labelled_local]
+        return finetune_classifier(model.encoder, dataset, labelled_idx,
+                                   test_idx, epochs=self.finetune_epochs,
+                                   rng=rng)
+
+
 def run_semisupervised(method: str, dataset_name: str, label_rate: float, *,
                        seeds: list[int], scale: float = 0.05,
                        node_scale: float = 1.0, pretrain_epochs: int = 5,
                        finetune_epochs: int = 10,
-                       method_overrides: dict | None = None
-                       ) -> tuple[float, float]:
-    """Semi-supervised protocol (Table VI): pretrain → label-rate finetune."""
-    scores = []
-    for seed in seeds:
-        dataset = load_dataset(dataset_name, seed=seed, scale=scale,
-                               node_scale=node_scale)
-        rng = np.random.default_rng(seed)
-        train_idx, test_idx = train_test_split(len(dataset), 0.2, rng)
-        model = make_method(method, dataset.num_features, seed=seed,
-                            **(method_overrides or {}))
-        model.pretrain([dataset[i] for i in train_idx],
-                       epochs=pretrain_epochs)
-        labels = dataset.labels()
-        labelled_local = label_rate_split(labels[train_idx], label_rate, rng)
-        labelled_idx = train_idx[labelled_local]
-        accuracy = finetune_classifier(model.encoder, dataset, labelled_idx,
-                                       test_idx, epochs=finetune_epochs,
-                                       rng=rng)
-        scores.append(accuracy * 100.0)
-    return mean_std(scores)
+                       method_overrides: dict | None = None,
+                       workers: int | None = None) -> tuple[float, float]:
+    """Semi-supervised protocol (Table VI): pretrain → label-rate finetune.
+
+    ``workers`` fans the seeds out (default: ``REPRO_WORKERS`` or serial)
+    with bit-identical results.
+    """
+    from ..runtime import ParallelExecutor
+
+    job = _SemiSupervisedSeedJob(
+        method, dataset_name, label_rate, scale=scale, node_scale=node_scale,
+        pretrain_epochs=pretrain_epochs, finetune_epochs=finetune_epochs,
+        method_overrides=method_overrides)
+    accuracies = ParallelExecutor(workers).map(job, seeds)
+    return mean_std([a * 100.0 for a in accuracies])
 
 
 # ----------------------------------------------------------------------
@@ -171,11 +268,19 @@ def run_semisupervised(method: str, dataset_name: str, label_rate: float, *,
 def average_ranks(table: dict[str, dict[str, float | None]],
                   datasets: list[str]) -> dict[str, float]:
     """Average rank per method across datasets (lower = better), skipping
-    missing cells — the A.R. column of Tables III/IV."""
+    missing cells — the A.R. column of Tables III/IV.
+
+    A cell is *missing* when the method's row lacks the dataset key, holds
+    ``None`` (a run that never happened) or holds NaN (a run that produced
+    no usable score — e.g. a fully degenerate split); missing cells simply
+    do not contribute to that method's average instead of crashing the
+    table or poisoning the ranking.
+    """
     ranks: dict[str, list[float]] = {m: [] for m in table}
     for dataset in datasets:
         scored = [(m, v[dataset]) for m, v in table.items()
-                  if v.get(dataset) is not None]
+                  if v.get(dataset) is not None
+                  and not np.isnan(v[dataset])]
         scored.sort(key=lambda kv: -kv[1])
         for position, (method, _) in enumerate(scored, start=1):
             ranks[method].append(float(position))

@@ -21,6 +21,13 @@ Commands
 event log + run manifest under DIR) and ``--trace`` (print the span tree
 after the run).
 
+``pretrain``, ``transfer`` and ``inspect`` accept ``--workers N`` (fan
+seed / precompute work out over N worker processes; default: the
+``REPRO_WORKERS`` environment variable, else serial). Results are
+bit-identical for any worker count — see docs/RUNTIME.md. ``inspect``
+additionally accepts ``--cache-dir DIR`` to serve Lipschitz constants
+from a content-addressed precompute cache.
+
 Examples
 --------
 ::
@@ -126,7 +133,8 @@ def _cmd_pretrain(args: argparse.Namespace) -> None:
                        seeds=args.seeds)
         mean, std = run_unsupervised(
             args.method, args.dataset, seeds=list(range(args.seeds)),
-            scale=args.scale, epochs=args.epochs, classifier=args.classifier)
+            scale=args.scale, epochs=args.epochs, classifier=args.classifier,
+            workers=args.workers)
         observer.event("run_end",
                        wall_seconds=round(time.perf_counter() - started, 3),
                        accuracy_mean=mean, accuracy_std=std)
@@ -150,7 +158,7 @@ def _cmd_transfer(args: argparse.Namespace) -> None:
             args.method, args.downstream, seeds=list(range(args.seeds)),
             pretrain_scale=args.scale, downstream_scale=args.scale,
             pretrain_epochs=args.epochs,
-            finetune_epochs=args.finetune_epochs)
+            finetune_epochs=args.finetune_epochs, workers=args.workers)
         observer.event("run_end",
                        wall_seconds=round(time.perf_counter() - started, 3),
                        roc_auc_mean=mean, roc_auc_std=std)
@@ -169,19 +177,29 @@ def _cmd_inspect(args: argparse.Namespace) -> None:
     from .core import SGCLConfig, SGCLTrainer
     from .core.analysis import semantic_identification_auc
     from .data import load_dataset
-    from .graph import Batch
 
     dataset = load_dataset(args.dataset, seed=0, scale=args.scale)
     trainer = SGCLTrainer(dataset.num_features,
                           SGCLConfig(epochs=args.epochs, batch_size=32,
                                      seed=0))
     trainer.pretrain(dataset.graphs)
-    generator = trainer.model.generator
+    cache = None
+    if args.cache_dir:
+        from .runtime import PrecomputeCache
+
+        cache = PrecomputeCache(args.cache_dir)
+    graphs = dataset.graphs[:40]
+    constants = trainer.precompute_lipschitz(graphs, workers=args.workers,
+                                             cache=cache)
+    scores = {id(graph): k_v for graph, k_v in zip(graphs, constants)}
     auc = semantic_identification_auc(
-        lambda g: generator.node_constants(Batch([g])).data,
-        dataset.graphs, max_graphs=40)
+        lambda g: scores[id(g)], graphs)
     print(f"semantic-node identification ROC-AUC on {args.dataset}: "
           f"{auc:.3f}")
+    if cache is not None:
+        stats = cache.stats()
+        print(f"precompute cache: {stats['hits']} hit(s), "
+              f"{stats['misses']} miss(es), {stats['entries']} entries")
 
 
 def _cmd_save(args: argparse.Namespace) -> None:
@@ -242,6 +260,13 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
                         help="print the span tree after the run")
 
 
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for seed/precompute fan-out "
+                             "(default: $REPRO_WORKERS, else serial); "
+                             "results are bit-identical for any count")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SGCL reproduction command line")
@@ -264,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--classifier", default="logreg",
                           choices=["logreg", "svm"])
     _add_observability_flags(pretrain)
+    _add_runtime_flags(pretrain)
     pretrain.set_defaults(fn=_cmd_pretrain)
 
     transfer = sub.add_parser("transfer", help="transfer protocol")
@@ -274,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     transfer.add_argument("--seeds", type=int, default=1)
     transfer.add_argument("--scale", type=float, default=0.08)
     _add_observability_flags(transfer)
+    _add_runtime_flags(transfer)
     transfer.set_defaults(fn=_cmd_transfer)
 
     report = sub.add_parser(
@@ -285,6 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--dataset", default="PROTEINS")
     inspect.add_argument("--epochs", type=int, default=4)
     inspect.add_argument("--scale", type=float, default=0.08)
+    inspect.add_argument("--cache-dir", default=None,
+                        help="content-addressed precompute cache for the "
+                             "Lipschitz constants")
+    _add_runtime_flags(inspect)
     inspect.set_defaults(fn=_cmd_inspect)
 
     save = sub.add_parser("save", help="pretrain → serving checkpoint")

@@ -69,6 +69,12 @@ class SGCLConfig:
     epochs: int = 40
     generator_batch_size: int = 16
 
+    # Runtime. With prefetch_batches > 0 the pre-training loop assembles
+    # up to that many mini-batches on a background thread
+    # (repro.runtime.PrefetchLoader); batch order and shuffle streams are
+    # unchanged, so this is a pure wall-time knob.
+    prefetch_batches: int = 0
+
     # Reproducibility.
     seed: int = 0
 

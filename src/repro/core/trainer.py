@@ -120,6 +120,11 @@ class SGCLTrainer:
             started = time.perf_counter()
             loader = DataLoader(graphs, self.config.batch_size, shuffle=True,
                                 rng=self._shuffle_rng)
+            if self.config.prefetch_batches > 0:
+                from ..runtime import PrefetchLoader
+
+                loader = PrefetchLoader(
+                    loader, prefetch=self.config.prefetch_batches)
             with obs.span("pretrain/epoch"):
                 for batch in loader:
                     if batch.num_graphs < 2:
@@ -145,6 +150,24 @@ class SGCLTrainer:
                 self._checkpoint_epoch(Path(checkpoint_dir), summary,
                                        save_every)
         return self.history
+
+    def precompute_lipschitz(self, graphs: Sequence[Graph], *,
+                             workers: int | None = None,
+                             cache=None) -> list[np.ndarray]:
+        """Per-node ``K_V`` of every graph under the current (frozen)
+        generator, fanned out over worker processes and optionally served
+        from a :class:`repro.runtime.PrecomputeCache`.
+
+        Bit-identical to ``generator.node_constants(Batch([g]))`` graph by
+        graph — parallelism and caching change wall-time, never numbers.
+        Used by diagnostics (``repro inspect``, Fig. 7) that sweep a corpus
+        with fixed parameters; during pre-training the constants of course
+        evolve with ``f_q`` and are computed per batch as before.
+        """
+        from ..runtime import precompute_node_constants
+
+        return precompute_node_constants(self.model.generator, graphs,
+                                         workers=workers, cache=cache)
 
     def _checkpoint_epoch(self, directory: Path, summary: dict[str, float],
                           save_every: int | None) -> None:

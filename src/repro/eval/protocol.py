@@ -76,31 +76,61 @@ def _make_classifier(classifier: str, seed: int):
     raise ValueError(f"unknown classifier {classifier!r}")
 
 
-def cross_validated_accuracy(embeddings: np.ndarray, labels: np.ndarray, *,
-                             k: int = 10, classifier: str = "svm",
-                             seed: int = 0) -> tuple[float, float]:
-    """K-fold CV accuracy of a classifier on frozen embeddings.
+class _CVFoldJob:
+    """Picklable fit-and-score of one CV fold.
 
-    Returns ``(mean, std)`` over folds — the paper's Table III cells.
-    Embeddings are standardised per fold using train statistics only.
+    Both the serial and the parallel path of
+    :func:`cross_validated_accuracy` run this exact callable, so the two
+    can never drift numerically; a fold's score depends only on
+    ``(embeddings, labels, fold indices, classifier, seed)``.
     """
-    labels = np.asarray(labels)
-    rng = np.random.default_rng(seed)
-    fold_scores = []
-    # Span name follows the classifier ("eval/svm" or "eval/logreg"), one
-    # span per CV fold, so traces show where protocol time actually goes.
-    span_name = f"eval/{classifier}"
-    obs = current()
-    for train_idx, test_idx in stratified_kfold(labels, k, rng):
-        with obs.span(span_name):
+
+    def __init__(self, embeddings: np.ndarray, labels: np.ndarray,
+                 classifier: str, seed: int):
+        self.embeddings = embeddings
+        self.labels = labels
+        self.classifier = classifier
+        self.seed = seed
+
+    def __call__(self, fold) -> float:
+        train_idx, test_idx = fold
+        # Span name follows the classifier ("eval/svm" or "eval/logreg"),
+        # one span per CV fold, so traces show where protocol time goes
+        # (in worker processes the observer is a no-op; see runtime docs).
+        with current().span(f"eval/{self.classifier}"):
+            embeddings = self.embeddings
             mu = embeddings[train_idx].mean(axis=0)
             sigma = embeddings[train_idx].std(axis=0) + 1e-8
             train_x = (embeddings[train_idx] - mu) / sigma
             test_x = (embeddings[test_idx] - mu) / sigma
-            model = _make_classifier(classifier, seed)
-            model.fit(train_x, labels[train_idx])
-            fold_scores.append(
-                accuracy(labels[test_idx], model.predict(test_x)))
+            model = _make_classifier(self.classifier, self.seed)
+            model.fit(train_x, self.labels[train_idx])
+            return accuracy(self.labels[test_idx], model.predict(test_x))
+
+
+def cross_validated_accuracy(embeddings: np.ndarray, labels: np.ndarray, *,
+                             k: int = 10, classifier: str = "svm",
+                             seed: int = 0,
+                             workers: int | None = None) -> tuple[float, float]:
+    """K-fold CV accuracy of a classifier on frozen embeddings.
+
+    Returns ``(mean, std)`` over folds — the paper's Table III cells.
+    Embeddings are standardised per fold using train statistics only.
+
+    ``workers`` fans the folds out over a
+    :class:`repro.runtime.ParallelExecutor` (default: ``REPRO_WORKERS`` or
+    serial). Folds are generated up front from the seeded RNG and each
+    fold is fitted independently, so any worker count returns bit-identical
+    scores.
+    """
+    from ..runtime import ParallelExecutor
+
+    _make_classifier(classifier, seed)  # fail fast, before any fan-out
+    labels = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    folds = list(stratified_kfold(labels, k, rng))
+    job = _CVFoldJob(embeddings, labels, classifier, seed)
+    fold_scores = ParallelExecutor(workers).map(job, folds)
     return mean_std(fold_scores)
 
 

@@ -1,0 +1,166 @@
+"""Content-addressed on-disk cache for static per-graph quantities.
+
+Quantities that depend only on a graph's content (and a computation
+config) — topology distances, normalized adjacency, Lipschitz constants
+under a *frozen* encoder — are recomputed constantly across CV folds,
+seeds and benches. :class:`PrecomputeCache` stores them once, keyed by
+
+    ``<graph fingerprint>-<config hash>``
+
+where the fingerprint hashes the graph's feature matrix and edge index
+(shape, dtype and bytes — :func:`repro.obs.dataset_fingerprint` applied
+to one graph) and the config hash is a canonical-JSON SHA-256 of the
+computation spec (:func:`config_hash`). Content addressing means there is
+no invalidation problem: perturbing the graph or the config changes the
+key, and stale entries are simply never read again.
+
+Entries are ``.npz`` archives written through the atomic
+temp-file-and-rename helper of :mod:`repro.data.io`, so concurrent
+writers (parallel eval folds, two bench processes) can race on the same
+key and the loser's write simply replaces the winner's identical bytes —
+never a truncated file. Hits and misses are counted on the ambient
+:func:`repro.obs.current` observer (``runtime/cache_hit`` /
+``runtime/cache_miss``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..data.io import atomic_write
+from ..graph import Graph
+from ..obs import current, dataset_fingerprint
+
+__all__ = ["PrecomputeCache", "config_hash", "graph_fingerprint"]
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content hash (hex, 16 chars) of one graph's features + edges."""
+    return dataset_fingerprint([graph])
+
+
+def _canonical(value):
+    """Reduce a config value to something ``json.dumps`` renders stably."""
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": hashlib.sha256(
+            np.ascontiguousarray(value).tobytes()).hexdigest(),
+            "shape": list(value.shape), "dtype": str(value.dtype)}
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def config_hash(spec: dict) -> str:
+    """Canonical hash (hex, 16 chars) of a computation spec.
+
+    Key order does not matter; numpy scalars and arrays are allowed
+    (arrays contribute their content hash, so a spec can pin e.g. encoder
+    parameters without embedding megabytes of JSON).
+    """
+    rendered = json.dumps(_canonical(spec), sort_keys=True,
+                          separators=(",", ":"))
+    return hashlib.sha256(rendered.encode()).hexdigest()[:16]
+
+
+class PrecomputeCache:
+    """Directory of content-addressed ``.npz`` entries.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write). Entries are
+        sharded into 256 sub-directories by fingerprint prefix so huge
+        corpora do not produce one enormous flat directory.
+
+    Examples
+    --------
+    >>> cache = PrecomputeCache(tmp_path / "precompute")
+    >>> spec = {"kind": "topology", "version": 1}
+    >>> arrays = cache.get_or_compute(graph, spec,
+    ...     lambda: {"topo": topology_distance(graph.degrees())})
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key(self, graph: Graph, spec: dict) -> str:
+        return f"{graph_fingerprint(graph)}-{config_hash(spec)}"
+
+    def path(self, graph: Graph, spec: dict) -> Path:
+        key = self.key(graph, spec)
+        return self.root / key[:2] / f"{key}.npz"
+
+    # ------------------------------------------------------------------
+    def get(self, graph: Graph, spec: dict) -> dict[str, np.ndarray] | None:
+        """Cached arrays for ``(graph, spec)``, or ``None`` on a miss.
+
+        A corrupt entry (interrupted filesystem, foreign file) counts as a
+        miss and will be overwritten by the next :meth:`put`.
+        """
+        path = self.path(graph, spec)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                arrays = {name: archive[name] for name in archive.files
+                          if name != "__spec__"}
+        except (OSError, ValueError, KeyError):
+            self.misses += 1
+            current().increment("runtime/cache_miss")
+            return None
+        self.hits += 1
+        current().increment("runtime/cache_hit")
+        return arrays
+
+    def put(self, graph: Graph, spec: dict,
+            arrays: dict[str, np.ndarray]) -> Path:
+        """Atomically store ``arrays`` under the ``(graph, spec)`` key.
+
+        The spec itself is embedded (JSON, under ``__spec__``) so cache
+        directories stay auditable with plain ``np.load``.
+        """
+        if "__spec__" in arrays:
+            raise ValueError("'__spec__' is a reserved entry name")
+        path = self.path(graph, spec)
+        payload = {name: np.asarray(value) for name, value in arrays.items()}
+        payload["__spec__"] = np.frombuffer(
+            json.dumps(_canonical(spec), sort_keys=True).encode(),
+            dtype=np.uint8)
+        with atomic_write(path, suffix=".npz") as tmp:
+            np.savez_compressed(tmp, **payload)
+        return path
+
+    def get_or_compute(self, graph: Graph, spec: dict,
+                       compute) -> dict[str, np.ndarray]:
+        """Return cached arrays, or run ``compute()`` and store its result."""
+        cached = self.get(graph, spec)
+        if cached is not None:
+            return cached
+        arrays = compute()
+        self.put(graph, spec, arrays)
+        return arrays
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Hit/miss counts of this handle plus on-disk entry count."""
+        entries = sum(1 for _ in self.root.glob("*/*.npz")) \
+            if self.root.exists() else 0
+        return {"hits": self.hits, "misses": self.misses, "entries": entries}
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.exists():
+            for entry in self.root.glob("*/*.npz"):
+                entry.unlink()
+                removed += 1
+        return removed

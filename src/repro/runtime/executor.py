@@ -1,0 +1,234 @@
+"""Deterministic process-pool map — the substrate of every parallel path.
+
+:class:`ParallelExecutor` runs a picklable function over a list of items
+on a pool of worker processes while keeping the *results* indistinguishable
+from a serial run:
+
+* **Deterministic chunking** — items are split into contiguous chunks by
+  index before submission, and results are reassembled by chunk index, so
+  the output order never depends on worker scheduling.
+* **Per-task seeding** — :meth:`ParallelExecutor.map_seeded` derives one
+  independent child seed per item from the run seed via
+  :class:`numpy.random.SeedSequence`, so a task's RNG stream depends only
+  on ``(base_seed, item index)`` — not on which worker ran it or how many
+  workers there were.
+* **Bounded retries** — a failed chunk is resubmitted up to ``retries``
+  extra times (covering workers killed by the OOM killer or flaky I/O);
+  the original traceback travels back as text and is raised in the parent
+  as :class:`ParallelExecutionError` once the budget is exhausted.
+* **Serial fallback** — with ``workers <= 1``, a single item, or on
+  platforms without ``fork``, ``map`` degrades to an in-process loop over
+  the *same* task wrapper, so the serial and parallel code paths cannot
+  drift apart.
+
+The worker function must be picklable (defined at module level) for the
+process-pool path; the serial fallback accepts any callable. Worker counts
+come from the explicit argument, else the ``REPRO_WORKERS`` environment
+variable, else 1 (see :func:`resolve_workers`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..obs import current
+
+__all__ = ["ParallelExecutor", "ParallelExecutionError", "resolve_workers",
+           "task_seeds"]
+
+_WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: explicit arg > ``REPRO_WORKERS`` env > 1.
+
+    Values below 1 are clamped to 1 (serial); a malformed environment
+    variable is ignored rather than crashing the run.
+    """
+    if workers is None:
+        raw = os.environ.get(_WORKERS_ENV, "")
+        try:
+            workers = int(raw)
+        except ValueError:
+            workers = 1
+    return max(1, workers)
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def task_seeds(base_seed: int, n: int) -> list[int]:
+    """``n`` independent per-task seeds derived from ``base_seed``.
+
+    Uses ``SeedSequence.spawn`` so streams are statistically independent
+    and depend only on ``(base_seed, index)`` — identical whether the tasks
+    later run serially or across any number of workers.
+    """
+    children = np.random.SeedSequence(base_seed).spawn(n)
+    return [int(child.generate_state(1, dtype=np.uint64)[0])
+            for child in children]
+
+
+class ParallelExecutionError(RuntimeError):
+    """A task failed on every attempt; carries the worker-side traceback."""
+
+    def __init__(self, index: int, attempts: int, remote_traceback: str):
+        self.index = index
+        self.attempts = attempts
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"task {index} failed after {attempts} attempt(s); "
+            f"worker traceback:\n{remote_traceback}")
+
+
+def _worker_init() -> None:
+    """Reset observability in forked workers.
+
+    A forked child inherits the parent's activation stack — including any
+    JSONL sink's open file descriptor; letting every worker append to the
+    parent's run log would interleave writes. Workers therefore run under
+    the shared no-op observer; telemetry for parallel work is emitted from
+    the parent around the map (the serial fallback, which runs in-process,
+    keeps full ambient observability).
+    """
+    from ..obs.observer import _ACTIVE, NULL_OBSERVER
+
+    _ACTIVE[:] = [NULL_OBSERVER]
+
+
+def _run_chunk(fn: Callable, chunk: list) -> tuple[bool, object]:
+    """Run one chunk of items; never raises across the process boundary."""
+    try:
+        return True, [fn(item) for item in chunk]
+    except BaseException:  # noqa: BLE001 — serialised and re-raised in parent
+        return False, traceback.format_exc()
+
+
+class _SeededTask:
+    """Picklable wrapper calling ``fn(item, seed)`` for map_seeded."""
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+
+    def __call__(self, pair):
+        item, seed = pair
+        return self.fn(item, seed)
+
+
+class ParallelExecutor:
+    """Order-preserving map over a process pool (or serially, identically).
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``None`` reads ``REPRO_WORKERS`` (default 1).
+        ``workers <= 1`` — or a platform without ``fork`` — runs serially.
+    chunk_size:
+        Items per submitted task. ``None`` picks
+        ``ceil(len(items) / (4 * workers))`` (a few chunks per worker so
+        stragglers rebalance) — always at least 1.
+    retries:
+        Extra attempts for a failed chunk before raising
+        :class:`ParallelExecutionError`.
+
+    Examples
+    --------
+    >>> executor = ParallelExecutor(workers=2)
+    >>> executor.map(math.sqrt, [1.0, 4.0, 9.0])
+    [1.0, 2.0, 3.0]
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 chunk_size: int | None = None, retries: int = 1):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.retries = retries
+
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """Whether ``map`` will actually use worker processes."""
+        return self.workers > 1 and fork_available()
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """``[fn(item) for item in items]``, possibly across processes.
+
+        Results are returned in input order regardless of completion
+        order. With ``workers <= 1`` (or no ``fork``) this is an ordinary
+        in-process loop sharing the retry/error handling of the pool path.
+        """
+        items = list(items)
+        obs = current()
+        obs.set_gauge("runtime/workers", self.workers)
+        with obs.span("runtime/map"):
+            obs.increment("runtime/tasks", len(items))
+            if not items:
+                return []
+            if not self.parallel or len(items) == 1:
+                return self._map_serial(fn, items)
+            return self._map_pool(fn, items)
+
+    def map_seeded(self, fn: Callable, items: Sequence, base_seed: int) -> list:
+        """``fn(item, seed)`` per item with deterministic per-task seeds.
+
+        ``seed`` is an integer suitable for ``np.random.default_rng``; see
+        :func:`task_seeds` for the derivation contract.
+        """
+        items = list(items)
+        pairs = list(zip(items, task_seeds(base_seed, len(items))))
+        return self.map(_SeededTask(fn), pairs)
+
+    # ------------------------------------------------------------------
+    def _map_serial(self, fn: Callable, items: list) -> list:
+        results = []
+        for index, item in enumerate(items):
+            for attempt in range(self.retries + 1):
+                ok, payload = _run_chunk(fn, [item])
+                if ok:
+                    results.append(payload[0])
+                    break
+                current().increment("runtime/retries")
+                if attempt == self.retries:
+                    raise ParallelExecutionError(index, attempt + 1, payload)
+        return results
+
+    def _map_pool(self, fn: Callable, items: list) -> list:
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(items) // (4 * self.workers)))
+        chunks = [items[start:start + chunk_size]
+                  for start in range(0, len(items), chunk_size)]
+        results: list = [None] * len(chunks)
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=context,
+                                 initializer=_worker_init) as pool:
+            pending = {pool.submit(_run_chunk, fn, chunk): (index, 0)
+                       for index, chunk in enumerate(chunks)}
+            while pending:
+                done, _ = futures_wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, attempts = pending.pop(future)
+                    ok, payload = future.result()
+                    if ok:
+                        results[index] = payload
+                        continue
+                    current().increment("runtime/retries")
+                    if attempts >= self.retries:
+                        first_failed = index * chunk_size
+                        raise ParallelExecutionError(
+                            first_failed, attempts + 1, payload)
+                    retry = pool.submit(_run_chunk, fn, chunks[index])
+                    pending[retry] = (index, attempts + 1)
+        return [value for chunk in results for value in chunk]

@@ -1,0 +1,112 @@
+"""Background batch prefetching over a bounded queue.
+
+:class:`PrefetchLoader` wraps any iterable of batches (normally a
+:class:`repro.data.DataLoader`) and assembles batches on a producer thread
+while the consumer trains on the previous one. Two invariants make it a
+drop-in replacement:
+
+* **Exact batch order** — one producer iterates the inner loader
+  sequentially and tags every batch with its index; the consumer yields
+  them in index order, so the stream is identical to iterating the inner
+  loader directly.
+* **Shuffle determinism** — the inner loader's own RNG performs the
+  shuffling (on the producer thread, once per epoch, in iteration order),
+  so a seeded ``DataLoader`` produces the same epoch permutations with or
+  without prefetching.
+
+The queue is bounded (``prefetch`` batches), so memory stays flat no
+matter how far the producer could run ahead. Abandoning iteration early
+(``break``) stops the producer promptly — the generator's ``finally``
+block signals it and drains the queue.
+
+Batch assembly in this codebase is pure numpy concatenation, which
+releases the GIL, so a single producer thread overlaps usefully with
+training math even without processes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterator
+
+from ..obs import current
+
+__all__ = ["PrefetchLoader"]
+
+_STOP = object()
+
+
+class PrefetchLoader:
+    """Iterate a loader with background batch assembly.
+
+    Parameters
+    ----------
+    loader:
+        The wrapped loader. Re-iterable loaders (like ``DataLoader``) make
+        the ``PrefetchLoader`` re-iterable too — one producer thread per
+        epoch.
+    prefetch:
+        Maximum batches assembled ahead of the consumer (queue bound).
+
+    Examples
+    --------
+    >>> loader = DataLoader(graphs, 128, shuffle=True, rng=rng)
+    >>> for batch in PrefetchLoader(loader, prefetch=2):
+    ...     step(batch)          # same batches, same order as `loader`
+    """
+
+    def __init__(self, loader, *, prefetch: int = 2):
+        if prefetch < 1:
+            raise ValueError("prefetch must be >= 1")
+        self.loader = loader
+        self.prefetch = prefetch
+
+    def __len__(self) -> int:
+        return len(self.loader)
+
+    def __iter__(self) -> Iterator:
+        obs = current()
+        out: queue.Queue = queue.Queue(maxsize=self.prefetch)
+        stop = threading.Event()
+
+        def produce() -> None:
+            try:
+                for index, batch in enumerate(self.loader):
+                    while not stop.is_set():
+                        try:
+                            out.put((index, batch), timeout=0.1)
+                            break
+                        except queue.Full:
+                            continue
+                    if stop.is_set():
+                        return
+                out.put(_STOP)
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                out.put(error)
+
+        producer = threading.Thread(target=produce, name="repro-prefetch",
+                                    daemon=True)
+        with obs.span("runtime/prefetch"):
+            producer.start()
+        expected = 0
+        try:
+            while True:
+                item = out.get()
+                obs.set_gauge("runtime/prefetch_depth", out.qsize())
+                if item is _STOP:
+                    return
+                if isinstance(item, BaseException):
+                    raise item
+                index, batch = item
+                assert index == expected, "prefetch order violated"
+                expected += 1
+                yield batch
+        finally:
+            stop.set()
+            while True:  # unblock a producer stuck on a full queue
+                try:
+                    out.get_nowait()
+                except queue.Empty:
+                    break
+            producer.join(timeout=5.0)

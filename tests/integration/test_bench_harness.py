@@ -79,8 +79,32 @@ def test_bench_scale_env(monkeypatch):
 def test_average_ranks_skips_missing_cells():
     table = {"a": {"d": 1.0, "e": None}, "b": {"d": 2.0, "e": 3.0}}
     ranks = average_ranks(table, ["d", "e"])
-    assert ranks["a"] == 2.0  # only ranked on dataset d (rank 2 of 2)
-    assert ranks["b"] == 1.0  # 1st on d... wait, b=2.0 > a=1.0 on d
+    assert ranks["a"] == 2.0  # only ranked on d, where b's 2.0 beats its 1.0
+    assert ranks["b"] == 1.0  # 1st on d, 1st (alone) on e
+
+
+def test_average_ranks_handles_none_rows_without_crashing():
+    """Missing runs (None cells, absent keys) must degrade, not raise."""
+    table = {
+        "complete": {"d": 80.0, "e": 70.0},
+        "partial": {"d": None, "e": 60.0},
+        "absent_key": {},
+        "all_none": {"d": None, "e": None},
+    }
+    ranks = average_ranks(table, ["d", "e"])
+    assert ranks["complete"] == 1.0
+    assert ranks["partial"] == 2.0          # ranked only on e
+    assert np.isnan(ranks["absent_key"])    # never ranked
+    assert np.isnan(ranks["all_none"])
+
+
+def test_average_ranks_treats_nan_as_missing():
+    """A NaN score (degenerate run) must not poison the ranking."""
+    table = {"a": {"d": float("nan"), "e": 90.0},
+             "b": {"d": 50.0, "e": 80.0}}
+    ranks = average_ranks(table, ["d", "e"])
+    assert ranks["a"] == 1.0  # ranked on e only, where it wins
+    assert ranks["b"] == 1.5  # 1st on d (alone), 2nd on e
 
 
 def test_average_ranks_orders_correctly():

@@ -46,6 +46,34 @@ def test_inspect_command(capsys):
     assert "semantic-node identification" in out
 
 
+def test_inspect_command_with_workers_and_cache(capsys, tmp_path):
+    args = ["inspect", "--dataset", "MUTAG", "--epochs", "1",
+            "--scale", "0.13", "--workers", "2",
+            "--cache-dir", str(tmp_path / "pc")]
+    main(args)
+    first = capsys.readouterr().out
+    main(args)  # second run must be served from the cache
+    second = capsys.readouterr().out
+
+    def auc(out):
+        return out.splitlines()[0]
+
+    assert auc(first) == auc(second)
+    assert "0 hit(s)" in first       # cold cache: everything misses
+    assert "0 miss(es)" in second    # warm cache: everything hits
+
+
+def test_pretrain_command_with_workers_matches_serial(capsys):
+    base = ["pretrain", "--method", "GraphCL", "--dataset", "MUTAG",
+            "--epochs", "1", "--scale", "0.13", "--seeds", "2"]
+    main(base + ["--workers", "1"])
+    serial = capsys.readouterr().out
+    main(base + ["--workers", "2"])
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+    assert "GraphCL on MUTAG" in serial
+
+
 def test_transfer_command(capsys):
     main(["transfer", "--method", "GAE", "--downstream", "BACE",
           "--epochs", "1", "--finetune-epochs", "2", "--scale", "0.05"])

@@ -1,0 +1,112 @@
+"""PrecomputeCache: content addressing, atomicity, counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import Observer
+from repro.runtime import PrecomputeCache, config_hash, graph_fingerprint
+
+from _helpers import make_triangle
+
+SPEC = {"kind": "unit", "version": 1}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return PrecomputeCache(tmp_path / "precompute")
+
+
+def test_roundtrip(cache, triangle):
+    arrays = {"a": np.arange(5.0), "b": np.eye(2)}
+    cache.put(triangle, SPEC, arrays)
+    loaded = cache.get(triangle, SPEC)
+    assert set(loaded) == {"a", "b"}
+    assert np.array_equal(loaded["a"], arrays["a"])
+    assert np.array_equal(loaded["b"], arrays["b"])
+
+
+def test_miss_returns_none(cache, triangle):
+    assert cache.get(triangle, SPEC) is None
+    assert cache.stats() == {"hits": 0, "misses": 1, "entries": 0}
+
+
+def test_content_addressing_on_graph(cache, triangle):
+    cache.put(triangle, SPEC, {"a": np.ones(3)})
+    perturbed = triangle.copy()
+    perturbed.x[0, 0] += 1e-9
+    assert cache.get(perturbed, SPEC) is None
+    assert graph_fingerprint(perturbed) != graph_fingerprint(triangle)
+
+
+def test_content_addressing_on_spec(cache, triangle):
+    cache.put(triangle, SPEC, {"a": np.ones(3)})
+    assert cache.get(triangle, {**SPEC, "version": 2}) is None
+
+
+def test_config_hash_key_order_invariant():
+    assert config_hash({"a": 1, "b": [2, 3]}) \
+        == config_hash({"b": [2, 3], "a": 1})
+    assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+
+def test_config_hash_accepts_numpy_values():
+    spec_a = {"w": np.arange(4.0), "lr": np.float64(0.1)}
+    spec_b = {"w": np.arange(4.0), "lr": 0.1}
+    assert config_hash(spec_a) == config_hash(spec_b)
+    spec_c = {"w": np.arange(4.0) + 1, "lr": 0.1}
+    assert config_hash(spec_c) != config_hash(spec_a)
+
+
+def test_get_or_compute_runs_once(cache, triangle):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"v": np.zeros(2)}
+
+    first = cache.get_or_compute(triangle, SPEC, compute)
+    second = cache.get_or_compute(triangle, SPEC, compute)
+    assert len(calls) == 1
+    assert np.array_equal(first["v"], second["v"])
+
+
+def test_corrupt_entry_counts_as_miss(cache, triangle):
+    path = cache.put(triangle, SPEC, {"a": np.ones(1)})
+    path.write_bytes(b"not an npz archive")
+    assert cache.get(triangle, SPEC) is None
+    # A fresh put repairs the entry.
+    cache.put(triangle, SPEC, {"a": np.ones(1)})
+    assert cache.get(triangle, SPEC) is not None
+
+
+def test_reserved_entry_name_rejected(cache, triangle):
+    with pytest.raises(ValueError):
+        cache.put(triangle, SPEC, {"__spec__": np.ones(1)})
+
+
+def test_clear(cache, triangle):
+    cache.put(triangle, SPEC, {"a": np.ones(1)})
+    cache.put(triangle, {**SPEC, "version": 2}, {"a": np.ones(1)})
+    assert cache.clear() == 2
+    assert cache.stats()["entries"] == 0
+
+
+def test_hit_miss_metrics_on_ambient_observer(cache, triangle):
+    observer = Observer()
+    with observer.activate():
+        cache.get(triangle, SPEC)
+        cache.put(triangle, SPEC, {"a": np.ones(1)})
+        cache.get(triangle, SPEC)
+    assert observer.metrics.count("runtime/cache_miss") == 1
+    assert observer.metrics.count("runtime/cache_hit") == 1
+
+
+def test_entries_shared_across_handles(tmp_path, triangle):
+    """Content addressing makes the cache safely shareable on disk."""
+    writer = PrecomputeCache(tmp_path / "c")
+    writer.put(triangle, SPEC, {"a": np.arange(3.0)})
+    reader = PrecomputeCache(tmp_path / "c")
+    loaded = reader.get(triangle, SPEC)
+    assert np.array_equal(loaded["a"], np.arange(3.0))

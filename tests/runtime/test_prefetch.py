@@ -1,0 +1,99 @@
+"""PrefetchLoader: order preservation, determinism, lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+from repro.runtime import PrefetchLoader
+
+from _helpers import make_triangle
+
+
+def _graphs(rng, n=12):
+    return [make_triangle(rng, y=i % 2) for i in range(n)]
+
+
+def test_prefetch_matches_loader_order_unshuffled(rng):
+    graphs = _graphs(rng)
+    plain = [b.x for b in DataLoader(graphs, 4)]
+    prefetched = [b.x for b in PrefetchLoader(DataLoader(graphs, 4))]
+    assert len(plain) == len(prefetched)
+    for a, b in zip(plain, prefetched):
+        assert np.array_equal(a, b)
+
+
+def test_prefetch_preserves_shuffle_stream_across_epochs(rng):
+    graphs = _graphs(rng)
+    plain = DataLoader(graphs, 5, shuffle=True, rng=np.random.default_rng(9))
+    wrapped = PrefetchLoader(
+        DataLoader(graphs, 5, shuffle=True, rng=np.random.default_rng(9)),
+        prefetch=3)
+    for _ in range(3):  # same permutation sequence epoch after epoch
+        for a, b in zip(plain, wrapped):
+            assert np.array_equal(a.x, b.x)
+
+
+def test_prefetch_len_delegates(rng):
+    loader = DataLoader(_graphs(rng), 5)
+    assert len(PrefetchLoader(loader)) == len(loader)
+
+
+def test_prefetch_bound_validated(rng):
+    with pytest.raises(ValueError):
+        PrefetchLoader(DataLoader(_graphs(rng), 4), prefetch=0)
+
+
+def test_prefetch_early_break_then_reiterate(rng):
+    """Abandoning an epoch stops the producer and the next epoch is clean."""
+    graphs = _graphs(rng, 20)
+    wrapped = PrefetchLoader(DataLoader(graphs, 2), prefetch=1)
+    for i, _ in enumerate(wrapped):
+        if i == 1:
+            break
+    # A fresh iteration starts from batch 0 again.
+    first = next(iter(wrapped))
+    assert np.array_equal(first.x, next(iter(DataLoader(graphs, 2))).x)
+
+
+class _ExplodingLoader:
+    def __init__(self, graphs, fail_at):
+        self.graphs = graphs
+        self.fail_at = fail_at
+
+    def __len__(self):
+        return len(self.graphs)
+
+    def __iter__(self):
+        from repro.graph import Batch
+
+        for i, graph in enumerate(self.graphs):
+            if i == self.fail_at:
+                raise RuntimeError("loader exploded")
+            yield Batch([graph])
+
+
+def test_prefetch_propagates_producer_exception(rng):
+    wrapped = PrefetchLoader(_ExplodingLoader(_graphs(rng), fail_at=2))
+    seen = []
+    with pytest.raises(RuntimeError, match="loader exploded"):
+        for batch in wrapped:
+            seen.append(batch)
+    assert len(seen) == 2  # batches before the failure were delivered
+
+
+def test_prefetch_sgcl_pretrain_equivalence():
+    """config.prefetch_batches changes wall-time only, never the history."""
+    from repro.core import SGCLConfig, SGCLTrainer
+
+    rng = np.random.default_rng(0)
+    graphs = [make_triangle(rng, y=i % 2) for i in range(24)]
+    plain = SGCLTrainer(4, SGCLConfig(epochs=2, batch_size=8, seed=1))
+    prefetched = SGCLTrainer(
+        4, SGCLConfig(epochs=2, batch_size=8, seed=1, prefetch_batches=2))
+    history_a = plain.pretrain(graphs)
+    history_b = prefetched.pretrain(graphs)
+    for row_a, row_b in zip(history_a, history_b):
+        assert row_a["loss"] == row_b["loss"]
+        assert row_a["k_v_mean"] == row_b["k_v_mean"]
