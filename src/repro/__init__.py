@@ -8,7 +8,7 @@ inventory.
 
 # Defined before the submodule imports: serve.checkpoint stamps it into
 # checkpoint headers at import time.
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import (
     baselines,
@@ -22,6 +22,7 @@ from . import (
     obs,
     serve,
     tensor,
+    validate,
 )
 
 __all__ = [
@@ -36,5 +37,6 @@ __all__ = [
     "bench",
     "obs",
     "serve",
+    "validate",
     "__version__",
 ]

@@ -10,6 +10,7 @@ mini-batch ``step``.
 from __future__ import annotations
 
 import time
+import warnings
 from pathlib import Path
 from typing import Sequence
 
@@ -21,6 +22,7 @@ from ..graph import Graph
 from ..nn import Adam, Module
 from ..obs import current
 from ..tensor import Tensor
+from ..validate.numerics import NumericsGuard, global_grad_norm
 
 __all__ = ["BasePretrainer"]
 
@@ -36,6 +38,10 @@ class BasePretrainer(Module):
         Encoder architecture (defaults match SGCL's TU setup).
     lr, batch_size, seed:
         Optimisation / reproducibility knobs.
+    numerics_policy, grad_clip:
+        :class:`~repro.validate.NumericsGuard` wiring, mirroring
+        ``SGCLConfig``: what to do with NaN/Inf batches (``raise`` /
+        ``skip`` / ``warn``) and an optional global gradient-norm cap.
     """
 
     #: subclasses that need ≥2 graphs per batch (contrastive losses)
@@ -43,7 +49,9 @@ class BasePretrainer(Module):
 
     def __init__(self, in_dim: int, *, hidden_dim: int = 32,
                  num_layers: int = 3, conv: str = "gin", pooling: str = "sum",
-                 lr: float = 1e-3, batch_size: int = 128, seed: int = 0):
+                 lr: float = 1e-3, batch_size: int = 128, seed: int = 0,
+                 numerics_policy: str = "skip",
+                 grad_clip: float | None = None):
         super().__init__()
         root = np.random.default_rng(seed)
         self._init_rng = np.random.default_rng(root.integers(2 ** 63))
@@ -51,6 +59,8 @@ class BasePretrainer(Module):
         self.rng = np.random.default_rng(root.integers(2 ** 63))
         self.batch_size = batch_size
         self.lr = lr
+        self.numerics_policy = numerics_policy
+        self.grad_clip = grad_clip
         self.in_dim = in_dim
         self.encoder = GNNEncoder(in_dim, hidden_dim, num_layers,
                                   rng=self._init_rng, conv=conv,
@@ -84,9 +94,13 @@ class BasePretrainer(Module):
         and ``pretrain/epoch``/``pretrain/batch`` spans.
         """
         obs = observer if observer is not None else current()
+        guard = NumericsGuard(policy=self.numerics_policy,
+                              grad_clip=self.grad_clip, observer=obs)
+        parameters = self.parameters()
         self.train()
         for _ in range(epochs):
             losses = []
+            skipped_batches = 0
             started = time.perf_counter()
             loader = DataLoader(graphs, self.batch_size, shuffle=True,
                                 rng=self._shuffle_rng)
@@ -96,14 +110,30 @@ class BasePretrainer(Module):
                         continue
                     with obs.span("pretrain/batch"):
                         loss = self.step(batch)
+                        if not guard.check_loss({"loss": loss.item()}):
+                            skipped_batches += 1
+                            continue
                         self.optimizer.zero_grad()
                         loss.backward()
+                        if not guard.guard_gradients(
+                                parameters, global_grad_norm(parameters)):
+                            skipped_batches += 1
+                            continue
                         self.optimizer.step()
                     losses.append(loss.item())
-            self.history.append(float(np.mean(losses)) if losses else 0.0)
+            if not losses:
+                # NaN (not 0.0) keeps an all-skipped epoch from being
+                # mistaken for a perfect one by best-loss checkpointing.
+                warnings.warn(
+                    f"epoch {len(self.history) + 1}: no batch was trained "
+                    f"({skipped_batches} skipped)", RuntimeWarning,
+                    stacklevel=2)
+            self.history.append(
+                float(np.mean(losses)) if losses else float("nan"))
             obs.event("epoch", method=type(self).__name__,
                       epoch=len(self.history), loss=self.history[-1],
                       num_batches=len(losses),
+                      skipped_batches=skipped_batches,
                       epoch_seconds=time.perf_counter() - started)
             if checkpoint_dir is not None:
                 self._checkpoint_epoch(Path(checkpoint_dir), save_every)
@@ -114,7 +144,7 @@ class BasePretrainer(Module):
         epoch = len(self.history)
         if save_every and epoch % save_every == 0:
             self.save_checkpoint(directory / f"epoch-{epoch:04d}.npz")
-        if self.history[-1] < self._best_loss:
+        if np.isfinite(self.history[-1]) and self.history[-1] < self._best_loss:
             self._best_loss = self.history[-1]
             self.save_checkpoint(directory / "best.npz")
 

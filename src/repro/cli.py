@@ -16,6 +16,9 @@ Commands
     Serve embeddings of a dataset from a checkpoint (cached inference).
 ``report``
     Render a JSONL run log (written via ``--log-dir``) as tables.
+``doctor``
+    Validate a dataset's structural invariants and smoke-test the guarded
+    training path; non-zero exit on any failure (CI gate).
 
 ``pretrain`` and ``transfer`` accept ``--log-dir DIR`` (write a JSONL
 event log + run manifest under DIR) and ``--trace`` (print the span tree
@@ -41,6 +44,7 @@ Examples
     python -m repro save --method SGCL --dataset MUTAG --out ckpt/sgcl.npz
     python -m repro embed --checkpoint ckpt/sgcl.npz --dataset MUTAG \
         --out embeddings.npz --stats
+    python -m repro doctor --dataset MUTAG --scale 0.1
 """
 
 from __future__ import annotations
@@ -171,6 +175,20 @@ def _cmd_report(args: argparse.Namespace) -> None:
     from .obs import render_run_report
 
     print(render_run_report(args.log))
+
+
+def _cmd_doctor(args: argparse.Namespace) -> None:
+    from .validate import render_doctor_report, run_doctor
+
+    report = run_doctor(args.dataset, seed=args.seed, scale=args.scale,
+                        epochs=args.epochs, batch_size=args.batch_size,
+                        max_graphs=args.max_graphs)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_doctor_report(report))
+    if not report["ok"]:
+        raise SystemExit(1)
 
 
 def _cmd_inspect(args: argparse.Namespace) -> None:
@@ -307,6 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a JSONL run log as tables")
     report.add_argument("log", help="path to a run-<id>.jsonl event log")
     report.set_defaults(fn=_cmd_report)
+
+    doctor = sub.add_parser(
+        "doctor", help="dataset invariants + guarded smoke pretrain")
+    doctor.add_argument("--dataset", default="MUTAG")
+    doctor.add_argument("--seed", type=int, default=0)
+    doctor.add_argument("--scale", type=float, default=0.1)
+    doctor.add_argument("--epochs", type=int, default=1,
+                        help="smoke pre-training epochs")
+    doctor.add_argument("--batch-size", type=int, default=16)
+    doctor.add_argument("--max-graphs", type=int, default=32,
+                        help="graphs used by the smoke pre-train")
+    doctor.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    doctor.set_defaults(fn=_cmd_doctor)
 
     inspect = sub.add_parser("inspect", help="semantic-node diagnostics")
     inspect.add_argument("--dataset", default="PROTEINS")

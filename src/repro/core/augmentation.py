@@ -83,8 +83,15 @@ def binarize_constants(constants: np.ndarray) -> np.ndarray:
 
     ``C_i = 1`` marks semantic-related nodes (``K_i ≥ K̄``), which the
     augmentation must never drop.
+
+    Degenerate inputs are well-defined: an empty array yields an empty
+    mask (no NaN from the mean of an empty slice), and all-equal
+    constants mark *every* node semantic-related — the augmentation then
+    has nothing droppable and returns an identity view.
     """
     constants = np.asarray(constants, dtype=np.float64)
+    if constants.size == 0:
+        return np.zeros(0, dtype=np.float64)
     return (constants >= constants.mean()).astype(np.float64)
 
 
@@ -172,7 +179,17 @@ def attribute_mask(graph: Graph, ratio: float,
 
 def random_subgraph(graph: Graph, ratio: float,
                     rng: np.random.Generator) -> Graph:
-    """Keep a random-walk-induced subgraph of ``ratio·|V|`` nodes."""
+    """Random-walk-induced subgraph after dropping a ``ratio`` fraction.
+
+    ``ratio`` is the GraphCL *drop* ratio shared by all four perturbations
+    (``node_drop`` drops ``ratio·|V|`` nodes, ``edge_perturb`` rewires
+    ``ratio·|E|`` edges, ``attr_mask`` masks ``ratio·|V|`` rows), so the
+    view keeps ``max(1, round((1−ratio)·|V|))`` nodes grown breadth-first
+    from a uniformly random seed node — GraphCL's released ``subgraph``
+    does the same (``sub_num = (1 − aug_ratio)·|V|``). On disconnected
+    graphs the walk cannot leave the seed's component, so the view may end
+    up smaller than the target.
+    """
     n = graph.num_nodes
     target = max(1, int(round((1.0 - ratio) * n)))
     neighbours: dict[int, list[int]] = {}

@@ -75,6 +75,16 @@ class SGCLConfig:
     # unchanged, so this is a pure wall-time knob.
     prefetch_batches: int = 0
 
+    # Numerical guard rails (repro.validate.NumericsGuard). What to do
+    # when a batch produces a NaN/Inf loss component or gradient norm:
+    # "raise" aborts, "skip" drops the batch (counted under
+    # numerics/skipped_batches and in the epoch row), "warn" records and
+    # proceeds. grad_clip rescales gradients whose global L2 norm exceeds
+    # it (None = off). Seeded numerics are unchanged unless a guard fires
+    # or clipping engages.
+    numerics_policy: str = "skip"
+    grad_clip: float | None = None
+
     # Reproducibility.
     seed: int = 0
 
@@ -91,3 +101,9 @@ class SGCLConfig:
             raise ValueError(f"unknown lipschitz_mode {self.lipschitz_mode!r}")
         if self.augmentation not in ("lipschitz", "random", "learnable"):
             raise ValueError(f"unknown augmentation {self.augmentation!r}")
+        if self.numerics_policy not in ("raise", "skip", "warn"):
+            raise ValueError(
+                f"unknown numerics_policy {self.numerics_policy!r}")
+        if self.grad_clip is not None and not self.grad_clip > 0:
+            raise ValueError(
+                f"grad_clip must be positive or None, got {self.grad_clip}")

@@ -13,7 +13,33 @@ from ..nn import Module, l2_normalize
 from ..tensor import Tensor
 
 __all__ = ["semantic_info_nce", "complement_loss", "weight_regularizer",
-           "graph_likelihood_loss"]
+           "graph_likelihood_loss", "sample_negative_pairs"]
+
+
+def sample_negative_pairs(n: int, num: int, edge_index: np.ndarray,
+                          rng: np.random.Generator, *, max_rounds: int = 100
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """``num`` uniformly sampled node pairs that are true non-edges.
+
+    Self-pairs and observed edges are rejected and resampled from the
+    provided ``rng`` (bounded rounds, fully deterministic given the rng
+    state). On near-complete graphs the pool of non-edges can be smaller
+    than ``num`` — any slot still invalid after ``max_rounds`` is dropped,
+    so the returned arrays may be shorter than requested (possibly empty
+    for complete graphs).
+    """
+    observed = np.unique(edge_index[0].astype(np.int64) * n + edge_index[1])
+    src = rng.integers(n, size=num)
+    dst = rng.integers(n, size=num)
+    for _ in range(max_rounds):
+        invalid = (src == dst) | np.isin(src * n + dst, observed)
+        if not invalid.any():
+            break
+        resample = int(invalid.sum())
+        src[invalid] = rng.integers(n, size=resample)
+        dst[invalid] = rng.integers(n, size=resample)
+    valid = (src != dst) & ~np.isin(src * n + dst, observed)
+    return src[valid], dst[valid]
 
 
 def graph_likelihood_loss(reps: Tensor, edge_index: np.ndarray,
@@ -22,9 +48,12 @@ def graph_likelihood_loss(reps: Tensor, edge_index: np.ndarray,
     """Negative log graph probability under the paper's edge model (Eq. 2–3).
 
     ``P(e_ij) = δ((h_i/d_i + h_j/d_j)·w)`` for observed edges; an equal
-    number of uniformly sampled non-edges act as negatives (the standard
-    contrastive estimate of the likelihood — without them the model could
-    satisfy Eq. 3 by scoring *every* pair as an edge). This is the
+    number of uniformly sampled *true* non-edges act as negatives (the
+    standard contrastive estimate of the likelihood — without them the
+    model could satisfy Eq. 3 by scoring *every* pair as an edge).
+    Negatives are drawn by :func:`sample_negative_pairs`, which rejects
+    self-pairs and observed edges — naive uniform pairs would label real
+    edges as negatives and bias the generator objective. This is the
     generator tower's training signal.
     """
     from ..tensor import concatenate, gather
@@ -37,12 +66,16 @@ def graph_likelihood_loss(reps: Tensor, edge_index: np.ndarray,
     scaled = reps / deg
     src, dst = edge_index
     positive_logits = (gather(scaled, src) + gather(scaled, dst)) @ edge_weight
-    neg_src = rng.integers(n, size=num_edges)
-    neg_dst = rng.integers(n, size=num_edges)
-    negative_logits = (gather(scaled, neg_src)
-                       + gather(scaled, neg_dst)) @ edge_weight
-    logits = concatenate([positive_logits, negative_logits], axis=0)
-    targets = np.concatenate([np.ones(num_edges), np.zeros(num_edges)])
+    neg_src, neg_dst = sample_negative_pairs(n, num_edges, edge_index, rng)
+    if len(neg_src):
+        negative_logits = (gather(scaled, neg_src)
+                           + gather(scaled, neg_dst)) @ edge_weight
+        logits = concatenate([positive_logits, negative_logits], axis=0)
+        targets = np.concatenate([np.ones(num_edges),
+                                  np.zeros(len(neg_src))])
+    else:  # complete graph: no non-edges exist, fit the positives alone
+        logits = positive_logits
+        targets = np.ones(num_edges)
     # Stable BCE with logits: softplus(x) − x·y.
     return (logits.softplus() - logits * Tensor(targets)).mean()
 

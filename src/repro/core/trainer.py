@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-import math
 import time
+import warnings
 from pathlib import Path
 from typing import Sequence
 
@@ -13,27 +13,20 @@ from ..data import DataLoader
 from ..graph import Graph
 from ..nn import Adam
 from ..obs import current
+from ..validate.numerics import NumericsGuard, global_grad_norm
 from .config import SGCLConfig
 from .model import SGCLModel
 
 __all__ = ["SGCLTrainer", "global_grad_norm"]
 
 
-def global_grad_norm(parameters) -> float:
-    """L2 norm over every parameter gradient (0.0 if none are set)."""
-    total = 0.0
-    for param in parameters:
-        grad = param.grad
-        if grad is not None:
-            total += float((grad * grad).sum())
-    return math.sqrt(total)
-
-
 def summarize_epoch(epoch_stats: dict[str, list[float]]) -> dict[str, float]:
     """Collapse per-batch stats into one epoch row.
 
     Keys ending in ``_min``/``_max`` keep their extreme over the epoch's
-    batches; everything else is averaged.
+    batches; everything else is averaged. With no per-batch stats at all
+    (every batch skipped) the result is empty — ``pretrain`` fills in a
+    well-formed NaN-loss row in that case.
     """
     summary = {}
     for key, values in epoch_stats.items():
@@ -100,6 +93,16 @@ class SGCLTrainer:
         Batches with fewer than 2 graphs are skipped (InfoNCE needs
         negatives), matching ``drop_last`` behaviour of the reference code.
 
+        Every batch runs under a :class:`~repro.validate.NumericsGuard`
+        (``config.numerics_policy``): a NaN/Inf loss component or gradient
+        norm raises, skips the batch (counted in the row's
+        ``skipped_batches`` and the ``numerics/skipped_batches`` metric)
+        or warns; ``config.grad_clip`` additionally caps the global
+        gradient L2 norm. An epoch in which *every* batch was skipped
+        still yields a well-formed row (``loss`` = NaN, ``num_batches`` =
+        0) plus a :class:`RuntimeWarning`, so ``repro report`` and
+        checkpointed-history consumers keep working.
+
         With ``checkpoint_dir`` set, the epoch with the lowest mean loss is
         saved to ``<dir>/best.npz`` and — if ``save_every`` is given — every
         ``save_every``-th epoch to ``<dir>/epoch-NNNN.npz`` (numbered over
@@ -113,10 +116,13 @@ class SGCLTrainer:
         epochs = epochs if epochs is not None else self.config.epochs
         obs = observer if observer is not None else current()
         parameters = self.model.parameters()
+        guard = NumericsGuard(policy=self.config.numerics_policy,
+                              grad_clip=self.config.grad_clip, observer=obs)
         self.model.train()
         for _ in range(epochs):
             epoch_stats: dict[str, list[float]] = {}
             num_batches = 0
+            skipped_batches = 0
             started = time.perf_counter()
             loader = DataLoader(graphs, self.config.batch_size, shuffle=True,
                                 rng=self._shuffle_rng)
@@ -132,17 +138,34 @@ class SGCLTrainer:
                     with obs.span("pretrain/batch"):
                         loss, stats = self.model.loss(batch,
                                                       self._augment_rng)
+                        if not guard.check_loss(stats):
+                            skipped_batches += 1
+                            continue
                         self.optimizer.zero_grad()
                         loss.backward()
+                        grad_norm = global_grad_norm(parameters)
+                        if not guard.guard_gradients(parameters, grad_norm):
+                            skipped_batches += 1
+                            continue
                         if obs.enabled:
-                            stats["grad_norm"] = global_grad_norm(parameters)
+                            stats["grad_norm"] = grad_norm
                         self.optimizer.step()
                     num_batches += 1
                     for key, value in stats.items():
                         epoch_stats.setdefault(key, []).append(value)
             summary = summarize_epoch(epoch_stats)
+            if num_batches == 0:
+                # Well-formed row even when every batch was skipped, so
+                # `repro report` and history consumers see a loss column.
+                summary["loss"] = float("nan")
+                warnings.warn(
+                    f"epoch {len(self.history) + 1}: no batch was trained "
+                    f"({skipped_batches} skipped; batch_size="
+                    f"{self.config.batch_size} over {len(graphs)} graphs)",
+                    RuntimeWarning, stacklevel=2)
             summary["epoch"] = len(self.history) + 1
             summary["num_batches"] = num_batches
+            summary["skipped_batches"] = skipped_batches
             summary["epoch_seconds"] = time.perf_counter() - started
             self.history.append(summary)
             obs.event("epoch", method="SGCL", **summary)
@@ -175,7 +198,7 @@ class SGCLTrainer:
         if save_every and epoch % save_every == 0:
             self.save_checkpoint(directory / f"epoch-{epoch:04d}.npz")
         loss = summary.get("loss", float("inf"))
-        if loss < self._best_loss:
+        if np.isfinite(loss) and loss < self._best_loss:
             self._best_loss = loss
             self.save_checkpoint(directory / "best.npz")
 
@@ -219,6 +242,7 @@ class SGCLTrainer:
         history = checkpoint.metadata.get("history", [])
         trainer.history = list(history)
         losses = [s.get("loss") for s in trainer.history
-                  if s.get("loss") is not None]
+                  if s.get("loss") is not None
+                  and np.isfinite(s.get("loss"))]  # NaN rows = empty epochs
         trainer._best_loss = min(losses, default=float("inf"))
         return trainer

@@ -101,7 +101,7 @@ def register_dataset(name: str):
 
 
 def load_dataset(name: str, *, seed: int = 0, scale: float = 1.0,
-                 **kwargs) -> GraphDataset:
+                 validate: str | None = None, **kwargs) -> GraphDataset:
     """Instantiate a registered dataset.
 
     Parameters
@@ -111,11 +111,22 @@ def load_dataset(name: str, *, seed: int = 0, scale: float = 1.0,
     scale:
         Fraction of the original graph count (and, for the huge datasets,
         node count) to generate; benches use small scales so CPU runs finish.
+    validate:
+        Run the structural invariant suite (:class:`repro.validate.
+        DatasetValidator`) over the loaded graphs under this policy —
+        ``"raise"``, ``"drop"`` or ``"warn"``. ``None`` (default) skips
+        validation; the bundled generators are checked in CI via
+        ``repro doctor``.
     """
     key = name.lower()
     if key not in _REGISTRY:
         raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
-    return _REGISTRY[key](seed=seed, scale=scale, **kwargs)
+    dataset = _REGISTRY[key](seed=seed, scale=scale, **kwargs)
+    if validate is not None:
+        from ..validate import DatasetValidator
+
+        dataset = DatasetValidator(policy=validate).apply(dataset)
+    return dataset
 
 
 def available_datasets() -> list[str]:

@@ -1,0 +1,44 @@
+"""Validation and numerical-robustness subsystem.
+
+Guard rails between the data and the training hot path:
+
+* :class:`GraphValidator` / :class:`DatasetValidator` — structural
+  invariants (edge bounds, undirected symmetry, finite features,
+  non-empty graphs, label domain) with ``raise`` / ``drop`` / ``warn``
+  policies, counted under ``validate/*`` in the ambient
+  :class:`~repro.obs.MetricsRegistry`.
+* :class:`NumericsGuard` — per-batch NaN/Inf detection for losses and
+  gradients (``raise`` / ``skip`` / ``warn``) plus optional global
+  gradient clipping; wired into :meth:`repro.core.SGCLTrainer.pretrain`
+  and :meth:`repro.baselines.BasePretrainer.pretrain` via
+  ``SGCLConfig.numerics_policy`` / ``SGCLConfig.grad_clip``.
+* :func:`run_doctor` — the ``repro doctor`` CLI: full invariant suite
+  over a dataset plus a guarded smoke pre-train.
+* :mod:`repro.validate.faults` — deterministic corruption helpers that
+  prove the guards fire (test/CI use only).
+
+See the "Validation" section of docs/API.md.
+"""
+
+from .doctor import render_doctor_report, run_doctor
+from .numerics import NumericsError, NumericsGuard, global_grad_norm
+from .validators import (
+    DatasetValidator,
+    GraphValidator,
+    ValidationError,
+    ValidationIssue,
+    ValidationReport,
+)
+
+__all__ = [
+    "GraphValidator",
+    "DatasetValidator",
+    "ValidationIssue",
+    "ValidationReport",
+    "ValidationError",
+    "NumericsGuard",
+    "NumericsError",
+    "global_grad_norm",
+    "run_doctor",
+    "render_doctor_report",
+]

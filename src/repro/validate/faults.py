@@ -1,0 +1,108 @@
+"""Deterministic fault injection for testing the guard rails.
+
+The validators and the :class:`~repro.validate.NumericsGuard` exist to
+catch corruption that should never happen — so tests (and ``repro
+doctor`` development) need a way to *make* it happen, reproducibly.
+Every helper here either returns a corrupted **copy** of a graph (the
+original is never touched) or temporarily patches a model so a chosen
+batch produces a NaN loss.
+
+These are test utilities: nothing in the library imports them outside of
+``tests/`` and the examples.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from itertools import count
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["corrupt_features", "break_edge_symmetry", "point_edge_out_of_bounds",
+           "corrupt_label", "inject_nan_loss"]
+
+
+def corrupt_features(graph: Graph, node: int = 0, feature: int = 0,
+                     value: float = float("nan")) -> Graph:
+    """Copy of ``graph`` with one feature entry replaced (NaN by default)."""
+    corrupted = graph.copy()
+    corrupted.x[node, feature] = value
+    return corrupted
+
+
+def break_edge_symmetry(graph: Graph, edge: int = 0) -> Graph:
+    """Copy of ``graph`` with one directed edge entry deleted.
+
+    Undirected storage keeps both orientations; removing a single entry
+    leaves its reverse orphaned, violating the ``edge_symmetry``
+    invariant. ``edge`` indexes the directed entry to delete.
+    """
+    if graph.num_edges == 0:
+        raise ValueError("graph has no edges to desymmetrise")
+    keep = np.ones(graph.num_edges, dtype=bool)
+    keep[edge] = False
+    return Graph(graph.x.copy(), graph.edge_index[:, keep], graph.y,
+                 dict(graph.meta))
+
+
+def point_edge_out_of_bounds(graph: Graph, edge: int = 0) -> Graph:
+    """Copy of ``graph`` with one edge endpoint pointing past the nodes.
+
+    :class:`~repro.graph.Graph` rejects this at construction, so the copy
+    is mutated after the fact — exactly the kind of post-construction
+    corruption (buggy transform, bad deserialisation) the validator must
+    catch.
+    """
+    if graph.num_edges == 0:
+        raise ValueError("graph has no edges to corrupt")
+    corrupted = graph.copy()
+    edge_index = corrupted.edge_index.copy()
+    edge_index[1, edge] = graph.num_nodes  # first invalid node id
+    corrupted.edge_index = edge_index
+    return corrupted
+
+
+def corrupt_label(graph: Graph, value=-1) -> Graph:
+    """Copy of ``graph`` with its label replaced (out-of-domain by default)."""
+    corrupted = graph.copy()
+    corrupted.y = value
+    return corrupted
+
+
+@contextmanager
+def inject_nan_loss(model, batches=(0,), attr: str = "loss"):
+    """Patch ``model.<attr>`` so the listed batch indices yield NaN losses.
+
+    Works on both loss conventions in the library: a method returning
+    ``(Tensor, stats_dict)`` (:meth:`SGCLModel.loss`) and one returning a
+    bare ``Tensor`` (:meth:`BasePretrainer.step`). The wrapped call runs
+    the *real* computation first — RNG consumption is identical to an
+    uncorrupted run, so everything after the faulty batch stays on the
+    seeded trajectory.
+
+    Usage::
+
+        with inject_nan_loss(trainer.model, batches={1}):
+            trainer.pretrain(graphs, epochs=1)
+    """
+    batches = frozenset(batches)
+    original = getattr(model, attr)
+    calls = count()
+
+    def wrapped(*args, **kwargs):
+        result = original(*args, **kwargs)
+        if next(calls) not in batches:
+            return result
+        if isinstance(result, tuple):
+            loss, stats = result
+            poisoned = {key: float("nan") for key in stats}
+            return loss * float("nan"), poisoned
+        return result * float("nan")
+
+    setattr(model, attr, wrapped)
+    try:
+        yield
+    finally:
+        delattr(model, attr)  # uncover the original bound method

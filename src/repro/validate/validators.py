@@ -1,0 +1,285 @@
+"""Structural invariant checks for graphs and datasets.
+
+Every synthetic generator, ``.npz`` loader and user-supplied corpus feeds
+the same training stack, and a single malformed graph — an edge pointing
+past the node count, a NaN feature row, a label outside the class domain —
+either crashes mid-epoch or, worse, trains through silently. The
+validators here check the invariants the rest of the library assumes:
+
+* ``edge_bounds`` — ``edge_index`` is ``(2, E)`` integer, entries in
+  ``[0, num_nodes)``;
+* ``edge_symmetry`` — undirected storage carries both orientations of
+  every edge (PyG-style), with matching multiplicities;
+* ``finite_features`` — no NaN/Inf in ``x``;
+* ``non_empty`` — at least one node;
+* ``label_domain`` — classification labels are integers in
+  ``[0, num_classes)``; multitask label vectors have one entry per task,
+  each 0/1 or NaN (missing).
+
+:class:`DatasetValidator` applies a policy to the findings: ``raise``
+(abort on the first invalid corpus), ``drop`` (filter invalid graphs out,
+counted), or ``warn`` (report and keep). All outcomes are counted through
+the ambient :class:`~repro.obs.MetricsRegistry` under ``validate/*``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..graph import Graph
+from ..obs import current
+
+__all__ = ["ValidationIssue", "ValidationReport", "ValidationError",
+           "GraphValidator", "DatasetValidator"]
+
+#: valid dataset policies
+POLICIES = ("raise", "drop", "warn")
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One failed invariant on one graph."""
+
+    check: str                 #: invariant name (``edge_bounds``, …)
+    message: str               #: human-readable detail
+    graph_index: int | None = None  #: position in the validated sequence
+
+    def __str__(self) -> str:
+        where = "" if self.graph_index is None else f"graph {self.graph_index}: "
+        return f"{where}{self.check}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Findings of one :meth:`DatasetValidator.validate` pass."""
+
+    num_graphs: int = 0
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def invalid_indices(self) -> list[int]:
+        """Sorted indices of graphs with at least one issue."""
+        return sorted({issue.graph_index for issue in self.issues
+                       if issue.graph_index is not None})
+
+    @property
+    def num_invalid(self) -> int:
+        return len(self.invalid_indices)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def counts_by_check(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for issue in self.issues:
+            counts[issue.check] = counts.get(issue.check, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.num_graphs} graph(s) checked, all invariants hold"
+        per_check = ", ".join(f"{check}×{count}" for check, count
+                              in sorted(self.counts_by_check().items()))
+        return (f"{self.num_graphs} graph(s) checked, "
+                f"{self.num_invalid} invalid ({per_check})")
+
+
+class ValidationError(ValueError):
+    """Raised under policy ``raise`` (or when ``drop`` leaves no graphs)."""
+
+    def __init__(self, report: ValidationReport, *, limit: int = 8):
+        self.report = report
+        shown = "\n".join(f"  - {issue}" for issue in report.issues[:limit])
+        more = len(report.issues) - limit
+        if more > 0:
+            shown += f"\n  … and {more} more issue(s)"
+        super().__init__(f"dataset validation failed: {report.summary()}\n{shown}")
+
+
+class GraphValidator:
+    """Checks one graph against the library's structural invariants.
+
+    Parameters
+    ----------
+    undirected:
+        Require symmetric edge storage (both orientations present). All
+        bundled datasets store undirected graphs PyG-style; set False for
+        genuinely directed corpora.
+    num_classes:
+        Label domain size; ``None`` skips the label check.
+    task:
+        ``"classification"`` (integer labels) or ``"multitask"`` (float
+        vectors with NaN = missing) — fixes how ``num_classes`` is read.
+    """
+
+    def __init__(self, *, undirected: bool = True,
+                 num_classes: int | None = None,
+                 task: str = "classification"):
+        if task not in ("classification", "multitask"):
+            raise ValueError(f"unknown task type {task!r}")
+        self.undirected = undirected
+        self.num_classes = num_classes
+        self.task = task
+
+    # ------------------------------------------------------------------
+    def issues(self, graph: Graph, index: int | None = None
+               ) -> list[ValidationIssue]:
+        """Every violated invariant of one graph (empty list = valid)."""
+        found: list[ValidationIssue] = []
+
+        def issue(check: str, message: str) -> None:
+            found.append(ValidationIssue(check, message, index))
+
+        if graph.num_nodes == 0:
+            issue("non_empty", "graph has no nodes")
+            return found  # every other invariant is vacuous or misleading
+
+        edge_index = np.asarray(graph.edge_index)
+        if edge_index.ndim != 2 or edge_index.shape[0] != 2:
+            issue("edge_bounds",
+                  f"edge_index must have shape (2, E), got {edge_index.shape}")
+        elif not np.issubdtype(edge_index.dtype, np.integer):
+            issue("edge_bounds",
+                  f"edge_index must be integer, got {edge_index.dtype}")
+        elif edge_index.size and (edge_index.min() < 0
+                                  or edge_index.max() >= graph.num_nodes):
+            issue("edge_bounds",
+                  f"edge references nodes outside [0, {graph.num_nodes})")
+        elif self.undirected and edge_index.size:
+            src, dst = edge_index.astype(np.int64)
+            codes = src * graph.num_nodes + dst
+            reverse = dst * graph.num_nodes + src
+            if not np.array_equal(np.sort(codes), np.sort(reverse)):
+                missing = int(len(np.setdiff1d(reverse, codes)))
+                issue("edge_symmetry",
+                      f"{missing} edge(s) lack their reverse orientation")
+
+        if not np.isfinite(graph.x).all():
+            bad = int((~np.isfinite(graph.x)).sum())
+            issue("finite_features", f"{bad} non-finite feature value(s)")
+
+        if self.num_classes is not None:
+            found.extend(self._label_issues(graph, index))
+        return found
+
+    def _label_issues(self, graph: Graph, index: int | None
+                      ) -> list[ValidationIssue]:
+        y = graph.y
+        if self.task == "classification":
+            if y is None:
+                return [ValidationIssue("label_domain", "label is missing",
+                                        index)]
+            value = float(np.asarray(y).reshape(()))
+            if not value.is_integer() or not 0 <= value < self.num_classes:
+                return [ValidationIssue(
+                    "label_domain",
+                    f"label {y!r} outside [0, {self.num_classes})", index)]
+            return []
+        # multitask: one {0, 1, NaN} entry per task
+        labels = np.asarray(y, dtype=np.float64).reshape(-1)
+        if labels.shape != (self.num_classes,):
+            return [ValidationIssue(
+                "label_domain",
+                f"expected {self.num_classes} task labels, got shape "
+                f"{labels.shape}", index)]
+        present = labels[~np.isnan(labels)]
+        if not np.isin(present, (0.0, 1.0)).all():
+            return [ValidationIssue(
+                "label_domain", "multitask labels must be 0, 1 or NaN",
+                index)]
+        return []
+
+    def validate(self, graph: Graph) -> None:
+        """Raise :class:`ValidationError` if the graph is invalid."""
+        found = self.issues(graph)
+        if found:
+            raise ValidationError(ValidationReport(1, found))
+
+
+class DatasetValidator:
+    """Applies a :class:`GraphValidator` over a corpus under a policy.
+
+    Parameters
+    ----------
+    policy:
+        ``"raise"`` — abort with :class:`ValidationError` on any issue;
+        ``"drop"`` — filter invalid graphs out of the returned dataset;
+        ``"warn"`` — emit one :class:`RuntimeWarning` and keep everything.
+    validator:
+        The per-graph validator; by default one is built from the
+        dataset's ``num_classes``/``task`` at :meth:`apply` time (label
+        checks are skipped for bare graph sequences).
+    observer:
+        Receives the ``validate/*`` counters; defaults to the ambient
+        :func:`repro.obs.current`.
+    """
+
+    def __init__(self, policy: str = "raise",
+                 validator: GraphValidator | None = None, observer=None):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown validation policy {policy!r}; choose from {POLICIES}")
+        self.policy = policy
+        self.validator = validator
+        self._observer = observer
+
+    # ------------------------------------------------------------------
+    def _obs(self):
+        return self._observer if self._observer is not None else current()
+
+    def _resolved(self, dataset=None) -> GraphValidator:
+        if self.validator is not None:
+            return self.validator
+        if dataset is not None and hasattr(dataset, "num_classes"):
+            return GraphValidator(num_classes=dataset.num_classes,
+                                  task=dataset.task)
+        return GraphValidator()
+
+    def validate(self, graphs: Sequence[Graph]) -> ValidationReport:
+        """Run every invariant over every graph; just report, no policy."""
+        validator = self._resolved(graphs)
+        graphs = list(graphs)
+        report = ValidationReport(num_graphs=len(graphs))
+        obs = self._obs()
+        obs.increment("validate/graphs_checked", report.num_graphs)
+        for index, graph in enumerate(graphs):
+            found = validator.issues(graph, index)
+            report.issues.extend(found)
+            for issue in found:
+                obs.increment(f"validate/{issue.check}")
+        if report.num_invalid:
+            obs.increment("validate/invalid_graphs", report.num_invalid)
+        return report
+
+    def apply(self, dataset):
+        """Validate a :class:`~repro.data.GraphDataset` and apply the policy.
+
+        Returns the dataset (filtered under ``drop``, unchanged otherwise).
+        Call :meth:`validate` directly when the findings themselves are
+        needed rather than the policy outcome.
+        """
+        from ..data import GraphDataset
+
+        report = self.validate(dataset)
+        if report.ok:
+            return dataset
+        if self.policy == "raise":
+            raise ValidationError(report)
+        if self.policy == "warn":
+            warnings.warn(f"dataset {dataset.name!r}: {report.summary()}",
+                          RuntimeWarning, stacklevel=2)
+            return dataset
+        # drop
+        invalid = set(report.invalid_indices)
+        kept = [graph for index, graph in enumerate(dataset.graphs)
+                if index not in invalid]
+        self._obs().increment("validate/dropped_graphs", len(invalid))
+        if not kept:
+            raise ValidationError(report)
+        return GraphDataset(dataset.name, kept, dataset.num_classes,
+                            dataset.task)

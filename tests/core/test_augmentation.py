@@ -183,3 +183,44 @@ def test_graphcl_ops_produce_valid_graphs(name, rng):
     assert view.num_nodes >= 1
     if view.num_edges:
         assert view.edge_index.max() < view.num_nodes
+
+
+@pytest.mark.parametrize("ratio", [0.0, 0.1, 0.25, 0.5, 0.9, 1.0])
+def test_random_subgraph_follows_drop_ratio_convention(ratio, rng):
+    """Regression: ``ratio`` is the fraction *dropped* (GraphCL convention
+    shared by all four ops), so a connected graph keeps
+    ``max(1, round((1-ratio)·|V|))`` nodes."""
+    n = 20
+    g = make_path(rng, n=n)
+    view = random_subgraph(g, ratio, rng)
+    assert view.num_nodes == max(1, round((1.0 - ratio) * n))
+
+
+def test_binarize_empty_constants_is_empty_without_warning():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # the old code warned on mean([])
+        mask = binarize_constants(np.array([]))
+    assert mask.shape == (0,)
+    assert not np.isnan(mask).any()
+
+
+def test_all_equal_constants_make_augmentation_identity(rng):
+    """All-equal K ⇒ every node is semantic-related ⇒ the positive view
+    drops nothing (nothing is droppable)."""
+    g = make_path(rng, n=8)
+    keep = augmentation_probability_mask(
+        binarize_constants(np.full(8, 2.5)), rng.uniform(size=8))
+    assert keep.tolist() == [1.0] * 8
+    view, _ = lipschitz_augment(g, keep, 0.5, rng)
+    assert view.num_nodes == 8
+    assert len(view.meta["dropped_nodes"]) == 0
+    assert (view.meta["parent_nodes"] == np.arange(8)).all()
+
+
+def test_phi_nothing_droppable_when_keep_probability_one(rng):
+    g = make_path(rng, n=6)
+    view = phi_node_drop(g, 3, 1.0 - np.ones(6), rng)
+    assert view.num_nodes == 6
+    assert len(view.meta["dropped_nodes"]) == 0

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import complement_loss, semantic_info_nce, weight_regularizer
-from repro.core.losses import graph_likelihood_loss
+from repro.core.losses import graph_likelihood_loss, sample_negative_pairs
 from repro.nn import Linear, Parameter
 from repro.tensor import Tensor
 
@@ -112,3 +112,59 @@ def test_graph_likelihood_edge_cases(rng):
                                   np.zeros((2, 0), dtype=np.int64),
                                   np.zeros(3), w, rng)
     assert empty.item() == 0.0
+
+
+def _path_edge_index(n):
+    pairs = np.array([(i, i + 1) for i in range(n - 1)])
+    return np.concatenate([pairs, pairs[:, ::-1]], axis=0).T
+
+
+def test_sample_negative_pairs_rejects_self_loops_and_edges():
+    """Regression: naive uniform sampling labelled real edges (and
+    self-pairs) as negatives; the sampler must return true non-edges."""
+    n = 10
+    edge_index = _path_edge_index(n)
+    observed = set(map(tuple, edge_index.T.tolist()))
+    for seed in range(20):
+        src, dst = sample_negative_pairs(
+            n, edge_index.shape[1], edge_index,
+            np.random.default_rng(seed))
+        assert len(src) == edge_index.shape[1]  # sparse graph: no shortage
+        assert (src != dst).all()
+        assert not any((int(u), int(v)) in observed
+                       for u, v in zip(src, dst))
+
+
+def test_sample_negative_pairs_is_deterministic():
+    edge_index = _path_edge_index(8)
+    draws = [sample_negative_pairs(8, 14, edge_index,
+                                   np.random.default_rng(99))
+             for _ in range(2)]
+    assert (draws[0][0] == draws[1][0]).all()
+    assert (draws[0][1] == draws[1][1]).all()
+
+
+def test_sample_negative_pairs_complete_graph_yields_nothing(rng, triangle):
+    src, dst = sample_negative_pairs(3, 6, triangle.edge_index, rng)
+    assert len(src) == 0 and len(dst) == 0
+
+
+def test_graph_likelihood_loss_finite_on_complete_graph(rng, triangle):
+    """Complete graphs have no non-edges; the loss falls back to fitting
+    the positives alone instead of mislabelling edges as negatives."""
+    loss = graph_likelihood_loss(Tensor(rng.normal(size=(3, 8))),
+                                 triangle.edge_index, triangle.degrees(),
+                                 Parameter(rng.normal(size=8)), rng)
+    assert np.isfinite(loss.item())
+
+
+def test_complement_loss_with_no_complement_samples(rng):
+    """Satellite: 0-row Ĝ^c batch must give L_c = 0 (denominator is just
+    the positive term) with a usable gradient, not a crash."""
+    anchors = Tensor(rng.normal(size=(4, 8)), requires_grad=True)
+    views = Tensor(rng.normal(size=(4, 8)))
+    loss = complement_loss(anchors, views, Tensor(np.zeros((0, 8))), 0.2)
+    assert loss.item() == pytest.approx(0.0, abs=1e-9)
+    loss.backward()
+    assert anchors.grad is not None
+    assert np.isfinite(anchors.grad).all()

@@ -1,0 +1,177 @@
+"""Structural invariant checks under each policy, driven by fault injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import GraphDataset, load_dataset
+from repro.graph import Graph
+from repro.obs import Observer
+from repro.validate import (
+    DatasetValidator,
+    GraphValidator,
+    ValidationError,
+)
+from repro.validate.faults import (
+    break_edge_symmetry,
+    corrupt_features,
+    corrupt_label,
+    point_edge_out_of_bounds,
+)
+
+from _helpers import make_path, make_triangle
+
+
+@pytest.fixture
+def graphs(rng):
+    return [make_triangle(rng), make_path(rng, n=5), make_path(rng, n=7)]
+
+
+# ----------------------------------------------------------------------
+# GraphValidator: one invariant at a time
+# ----------------------------------------------------------------------
+def test_valid_graph_has_no_issues(rng):
+    validator = GraphValidator(num_classes=2)
+    assert validator.issues(make_triangle(rng)) == []
+    assert validator.issues(make_path(rng, n=6)) == []
+
+
+def test_nan_feature_is_caught(rng):
+    bad = corrupt_features(make_triangle(rng), node=1, value=float("nan"))
+    issues = GraphValidator().issues(bad)
+    assert [issue.check for issue in issues] == ["finite_features"]
+
+
+def test_inf_feature_is_caught(rng):
+    bad = corrupt_features(make_triangle(rng), value=float("inf"))
+    assert [i.check for i in GraphValidator().issues(bad)] \
+        == ["finite_features"]
+
+
+def test_broken_symmetry_is_caught(rng):
+    bad = break_edge_symmetry(make_path(rng, n=5), edge=2)
+    issues = GraphValidator().issues(bad)
+    assert [issue.check for issue in issues] == ["edge_symmetry"]
+    # ... but a directed validator accepts it
+    assert GraphValidator(undirected=False).issues(bad) == []
+
+
+def test_out_of_bounds_edge_is_caught(rng):
+    bad = point_edge_out_of_bounds(make_triangle(rng))
+    issues = GraphValidator().issues(bad)
+    assert [issue.check for issue in issues] == ["edge_bounds"]
+
+
+def test_empty_graph_is_caught():
+    empty = Graph(np.zeros((0, 3)), np.zeros((2, 0), dtype=np.int64))
+    issues = GraphValidator().issues(empty)
+    assert [issue.check for issue in issues] == ["non_empty"]
+
+
+def test_label_domain_classification(rng):
+    validator = GraphValidator(num_classes=2)
+    for bad_label in (-1, 2, 0.5, None):
+        bad = corrupt_label(make_triangle(rng), bad_label)
+        assert [i.check for i in validator.issues(bad)] == ["label_domain"]
+    assert validator.issues(corrupt_label(make_triangle(rng), 1)) == []
+
+
+def test_label_domain_multitask(rng):
+    validator = GraphValidator(num_classes=3, task="multitask")
+    good = corrupt_label(make_triangle(rng),
+                         np.array([1.0, float("nan"), 0.0]))
+    assert validator.issues(good) == []
+    wrong_shape = corrupt_label(make_triangle(rng), np.array([1.0, 0.0]))
+    assert [i.check for i in validator.issues(wrong_shape)] \
+        == ["label_domain"]
+    wrong_values = corrupt_label(make_triangle(rng),
+                                 np.array([1.0, 0.3, 0.0]))
+    assert [i.check for i in validator.issues(wrong_values)] \
+        == ["label_domain"]
+
+
+def test_validate_raises_on_invalid_graph(rng):
+    with pytest.raises(ValidationError, match="finite_features"):
+        GraphValidator().validate(corrupt_features(make_triangle(rng)))
+
+
+# ----------------------------------------------------------------------
+# DatasetValidator: the three policies over a deterministically
+# corrupted corpus (the ISSUE's fault-injection acceptance criterion)
+# ----------------------------------------------------------------------
+def _corrupted_dataset(rng):
+    graphs = [make_triangle(rng), make_path(rng, n=5),
+              corrupt_features(make_path(rng, n=6), node=2),
+              make_path(rng, n=4)]
+    return GraphDataset("corrupted", graphs, num_classes=2)
+
+
+def test_policy_raise_aborts(rng):
+    with pytest.raises(ValidationError, match="graph 2"):
+        DatasetValidator(policy="raise").apply(_corrupted_dataset(rng))
+
+
+def test_policy_drop_filters_and_counts(rng):
+    observer = Observer()
+    cleaned = DatasetValidator(policy="drop", observer=observer) \
+        .apply(_corrupted_dataset(rng))
+    assert len(cleaned) == 3
+    assert all(np.isfinite(g.x).all() for g in cleaned)
+    assert observer.metrics.count("validate/graphs_checked") == 4
+    assert observer.metrics.count("validate/invalid_graphs") == 1
+    assert observer.metrics.count("validate/dropped_graphs") == 1
+    assert observer.metrics.count("validate/finite_features") == 1
+
+
+def test_policy_warn_keeps_everything(rng):
+    dataset = _corrupted_dataset(rng)
+    with pytest.warns(RuntimeWarning, match="1 invalid"):
+        result = DatasetValidator(policy="warn").apply(dataset)
+    assert result is dataset
+
+
+def test_policy_drop_refuses_to_empty_the_dataset(rng):
+    graphs = [corrupt_features(make_triangle(rng))]
+    with pytest.raises(ValidationError):
+        DatasetValidator(policy="drop") \
+            .apply(GraphDataset("all-bad", graphs, num_classes=2))
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="unknown validation policy"):
+        DatasetValidator(policy="ignore")
+
+
+def test_report_summary_counts(rng):
+    report = DatasetValidator().validate(
+        [make_triangle(rng), corrupt_features(make_path(rng, n=5)),
+         break_edge_symmetry(make_path(rng, n=6))])
+    assert report.num_graphs == 3
+    assert report.num_invalid == 2
+    assert report.invalid_indices == [1, 2]
+    assert report.counts_by_check() == {"finite_features": 1,
+                                        "edge_symmetry": 1}
+    assert "2 invalid" in report.summary()
+
+
+def test_clean_corpus_reports_ok(graphs):
+    report = DatasetValidator().validate(graphs)
+    assert report.ok
+    assert "all invariants hold" in report.summary()
+
+
+# ----------------------------------------------------------------------
+# load_dataset integration
+# ----------------------------------------------------------------------
+def test_load_dataset_validate_passes_on_bundled_data():
+    dataset = load_dataset("MUTAG", seed=0, scale=0.1, validate="raise")
+    assert len(dataset) > 0
+
+
+def test_load_dataset_validate_counts_through_ambient_observer():
+    observer = Observer()
+    with observer.activate():
+        load_dataset("MUTAG", seed=0, scale=0.1, validate="warn")
+    assert observer.metrics.count("validate/graphs_checked") > 0
+    assert observer.metrics.count("validate/invalid_graphs") == 0
