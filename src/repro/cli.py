@@ -24,6 +24,14 @@ Commands
 event log + run manifest under DIR) and ``--trace`` (print the span tree
 after the run).
 
+``pretrain --checkpoint-dir DIR`` switches to the crash-safe single-run
+path: every epoch refreshes ``DIR/latest.npz``, SIGINT/SIGTERM stop the
+run at the next epoch boundary and write ``DIR/emergency.npz`` on the way
+out (exit code 130), and ``--resume`` continues bit-exactly from the most
+advanced *valid* checkpoint in DIR (corrupt files are skipped — see
+docs/RESILIENCE.md). Every command exits 130 on Ctrl-C instead of dumping
+a traceback.
+
 ``pretrain``, ``transfer`` and ``inspect`` accept ``--workers N`` (fan
 seed / precompute work out over N worker processes; default: the
 ``REPRO_WORKERS`` environment variable, else serial). Results are
@@ -51,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
 
 from . import __version__
@@ -124,9 +133,72 @@ def _cmd_datasets(args: argparse.Namespace) -> None:
               f"{stats['num_classes']:>9}{dataset.task:>16}")
 
 
+def _pretrain_checkpointed(args: argparse.Namespace) -> None:
+    """Crash-safe single-run pre-training (``--checkpoint-dir``/``--resume``).
+
+    Unlike the benchmark path this trains ONE seeded run with per-epoch
+    checkpoints: ``latest.npz`` is refreshed atomically every epoch, a
+    first SIGINT/SIGTERM stops the loop at the next epoch boundary and
+    writes ``emergency.npz`` (exit 130), and ``--resume`` picks up from
+    the most advanced valid checkpoint — bit-identical to a run that was
+    never interrupted.
+    """
+    from pathlib import Path
+
+    from .core import SGCLConfig, SGCLTrainer
+    from .data import load_dataset
+    from .resilience import interrupt_guard, resume_trainer
+
+    if args.method != "SGCL":
+        raise SystemExit(
+            "pretrain: --checkpoint-dir/--resume support --method SGCL only "
+            f"(got {args.method!r})")
+    directory = Path(args.checkpoint_dir)
+    observer, log_path = _observer_from_args(args)
+    if log_path is not None:
+        _write_manifest(observer, log_path, args, command="pretrain")
+    dataset = load_dataset(args.dataset, seed=0, scale=args.scale)
+    with observer.activate():
+        trainer = resume_trainer(directory) if args.resume else None
+        if trainer is None:
+            trainer = SGCLTrainer(
+                dataset.num_features,
+                SGCLConfig(epochs=args.epochs, batch_size=32, seed=0))
+        elif trainer.in_dim != dataset.num_features:
+            raise SystemExit(
+                f"pretrain: checkpoints in {directory} were trained with "
+                f"in_dim={trainer.in_dim}; {args.dataset} has "
+                f"{dataset.num_features} node features")
+        done = len(trainer.history)
+        remaining = max(0, args.epochs - done)
+        if args.resume and done:
+            print(f"resuming at epoch {done + 1} "
+                  f"({remaining} of {args.epochs} epoch(s) remaining)")
+        with interrupt_guard(on_interrupt=trainer.request_stop) as state:
+            if remaining:
+                trainer.pretrain(dataset.graphs, epochs=remaining,
+                                 checkpoint_dir=directory)
+        if state.interrupted:
+            path = trainer.save_emergency_checkpoint(directory)
+            _finish_observer(observer, log_path, args)
+            print(f"interrupted ({state.signal_name}) after "
+                  f"{len(trainer.history)} epoch(s); emergency checkpoint "
+                  f"written to {path} — resume with --resume")
+            raise SystemExit(130)
+    _finish_observer(observer, log_path, args)
+    loss = trainer.history[-1]["loss"] if trainer.history else float("nan")
+    print(f"SGCL on {args.dataset}: {len(trainer.history)} epoch(s) "
+          f"(loss {loss:.4f}); checkpoints in {directory}")
+
+
 def _cmd_pretrain(args: argparse.Namespace) -> None:
     from .bench import run_unsupervised
 
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("pretrain: --resume requires --checkpoint-dir")
+    if args.checkpoint_dir:
+        _pretrain_checkpointed(args)
+        return
     observer, log_path = _observer_from_args(args)
     if log_path is not None:
         _write_manifest(observer, log_path, args, command="pretrain")
@@ -227,25 +299,36 @@ def _cmd_save(args: argparse.Namespace) -> None:
     dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     model = make_method(args.method, dataset.num_features, seed=args.seed)
     model.pretrain(dataset.graphs, epochs=args.epochs)
-    path = model.save_checkpoint(
-        args.out, metadata={"cli_method": args.method,
-                            "cli_dataset": args.dataset,
-                            "cli_epochs": args.epochs,
-                            "cli_seed": args.seed})
+    try:
+        path = model.save_checkpoint(
+            args.out, metadata={"cli_method": args.method,
+                                "cli_dataset": args.dataset,
+                                "cli_epochs": args.epochs,
+                                "cli_seed": args.seed})
+    except OSError as error:
+        raise SystemExit(
+            f"save: cannot write checkpoint {args.out}: {error}") from error
     print(f"saved {args.method} pre-trained on {args.dataset} "
           f"({args.epochs} epoch(s)) to {path}")
 
 
 def _cmd_embed(args: argparse.Namespace) -> None:
+    import zipfile
+
     import numpy as np
 
     from .data import load_dataset
     from .data.io import atomic_write
     from .serve import EmbeddingService, read_checkpoint_header
 
-    header = read_checkpoint_header(args.checkpoint)
-    service = EmbeddingService.from_checkpoint(
-        args.checkpoint, max_batch_size=args.batch_size)
+    try:
+        header = read_checkpoint_header(args.checkpoint)
+        service = EmbeddingService.from_checkpoint(
+            args.checkpoint, max_batch_size=args.batch_size)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as error:
+        raise SystemExit(
+            f"embed: cannot load checkpoint {args.checkpoint}: "
+            f"{error}") from error
     dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
     if header["in_dim"] is not None \
             and dataset.num_features != header["in_dim"]:
@@ -259,9 +342,13 @@ def _cmd_embed(args: argparse.Namespace) -> None:
         out = Path(args.out)
         if out.suffix != ".npz":
             out = out.with_suffix(".npz")
-        with atomic_write(out, suffix=".npz") as tmp:
-            np.savez_compressed(tmp, embeddings=embeddings,
-                                labels=dataset.labels())
+        try:
+            with atomic_write(out, suffix=".npz") as tmp:
+                np.savez_compressed(tmp, embeddings=embeddings,
+                                    labels=dataset.labels())
+        except OSError as error:
+            raise SystemExit(
+                f"embed: cannot write {out}: {error}") from error
         print(f"wrote {embeddings.shape[0]}×{embeddings.shape[1]} "
               f"embeddings to {out}")
     else:
@@ -306,6 +393,12 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--scale", type=float, default=0.1)
     pretrain.add_argument("--classifier", default="logreg",
                           choices=["logreg", "svm"])
+    pretrain.add_argument("--checkpoint-dir", default=None,
+                          help="crash-safe single-run mode: refresh a "
+                               "checkpoint here every epoch (SGCL only)")
+    pretrain.add_argument("--resume", action="store_true",
+                          help="continue from the most advanced valid "
+                               "checkpoint in --checkpoint-dir")
     _add_observability_flags(pretrain)
     _add_runtime_flags(pretrain)
     pretrain.set_defaults(fn=_cmd_pretrain)
@@ -378,7 +471,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
-    args.fn(args)
+    try:
+        args.fn(args)
+    except KeyboardInterrupt:
+        # Commands that can do better (pretrain --checkpoint-dir) trap the
+        # signal themselves and never reach this handler.
+        print("interrupted", file=sys.stderr)
+        raise SystemExit(130) from None
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -68,12 +68,32 @@ class SGCLTrainer:
         self.optimizer = Adam(self.model.parameters(), lr=self.config.lr)
         self.history: list[dict[str, float]] = []
         self._best_loss = float("inf")
+        self._stop_requested = False
 
     # ------------------------------------------------------------------
     @property
     def encoder(self):
         """The pre-trained representation encoder ``f_k`` (downstream use)."""
         return self.model.encoder
+
+    # ------------------------------------------------------------------
+    @property
+    def stop_requested(self) -> bool:
+        """Whether a graceful stop is pending (see :meth:`request_stop`)."""
+        return self._stop_requested
+
+    def request_stop(self) -> None:
+        """Ask the running ``pretrain`` loop to stop at the next epoch
+        boundary.
+
+        Safe to call from a signal handler (it only flips a flag). The
+        loop never aborts mid-epoch, so the trainer's parameters,
+        optimiser moments and RNG streams are always left in an
+        epoch-boundary state — an emergency checkpoint written afterwards
+        resumes bit-identically to a run that was told to train fewer
+        epochs. The flag is cleared on the next ``pretrain`` call.
+        """
+        self._stop_requested = True
 
     # ------------------------------------------------------------------
     def pretrain(self, graphs: Sequence[Graph], epochs: int | None = None, *,
@@ -103,10 +123,20 @@ class SGCLTrainer:
         0) plus a :class:`RuntimeWarning`, so ``repro report`` and
         checkpointed-history consumers keep working.
 
-        With ``checkpoint_dir`` set, the epoch with the lowest mean loss is
-        saved to ``<dir>/best.npz`` and — if ``save_every`` is given — every
-        ``save_every``-th epoch to ``<dir>/epoch-NNNN.npz`` (numbered over
-        the trainer's lifetime, so resumed runs continue the sequence).
+        With ``checkpoint_dir`` set, every epoch atomically refreshes
+        ``<dir>/latest.npz`` (the crash-recovery point
+        :func:`repro.resilience.find_latest_checkpoint` resumes from — at
+        most one epoch of work is ever lost), the epoch with the lowest
+        mean loss is saved to ``<dir>/best.npz`` and — if ``save_every``
+        is given — every ``save_every``-th epoch to
+        ``<dir>/epoch-NNNN.npz`` (numbered over the trainer's lifetime, so
+        resumed runs continue the sequence).
+
+        A pending :meth:`request_stop` (typically installed by
+        :func:`repro.resilience.interrupt_guard` on SIGINT/SIGTERM) ends
+        the loop at the next epoch boundary; the returned history simply
+        stops early and the trainer state matches a run asked for fewer
+        epochs, bit for bit.
 
         ``observer`` overrides the ambient :func:`repro.obs.current`
         observer; each epoch row is also emitted as an ``epoch`` event and
@@ -119,7 +149,11 @@ class SGCLTrainer:
         guard = NumericsGuard(policy=self.config.numerics_policy,
                               grad_clip=self.config.grad_clip, observer=obs)
         self.model.train()
+        self._stop_requested = False
         for _ in range(epochs):
+            if self._stop_requested:
+                obs.event("pretrain_stopped", epochs_done=len(self.history))
+                break
             epoch_stats: dict[str, list[float]] = {}
             num_batches = 0
             skipped_batches = 0
@@ -195,12 +229,25 @@ class SGCLTrainer:
     def _checkpoint_epoch(self, directory: Path, summary: dict[str, float],
                           save_every: int | None) -> None:
         epoch = len(self.history)
+        self.save_checkpoint(directory / "latest.npz")
         if save_every and epoch % save_every == 0:
             self.save_checkpoint(directory / f"epoch-{epoch:04d}.npz")
         loss = summary.get("loss", float("inf"))
         if np.isfinite(loss) and loss < self._best_loss:
             self._best_loss = loss
             self.save_checkpoint(directory / "best.npz")
+
+    def save_emergency_checkpoint(self, directory: str | Path) -> Path:
+        """Write ``<directory>/emergency.npz`` from the current state.
+
+        Meant for the way out of an interrupted run: the trainer only
+        stops at epoch boundaries (see :meth:`request_stop`), so the
+        emergency bundle resumes bit-identically to a shorter run. The
+        write is atomic — a second interrupt mid-write leaves either the
+        previous file or none, never a truncated bundle.
+        """
+        return self.save_checkpoint(Path(directory) / "emergency.npz",
+                                    metadata={"emergency": True})
 
     # ------------------------------------------------------------------
     # Persistence (see repro.serve.checkpoint for the bundle format)

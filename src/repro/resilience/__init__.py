@@ -1,0 +1,56 @@
+"""Fault tolerance subsystem: retries, deadlines, breakers, auto-resume.
+
+Composable primitives that keep long pre-training runs and the serving
+path alive through the failures production actually sees — hung or
+OOM-killed workers, truncated checkpoints, slow or broken model calls:
+
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter
+  (the schedule depends only on ``(seed, attempt)``).
+* :class:`Deadline` — a per-request monotonic time budget raising
+  :class:`DeadlineExceeded` when spent.
+* :class:`CircuitBreaker` — closed/open/half-open isolation of a failing
+  dependency, with :class:`CircuitOpenError` rejections.
+* :func:`find_latest_checkpoint` / :func:`resume_trainer` — discovery of
+  the most advanced *valid* checkpoint (corrupt bundles are skipped, not
+  raised on).
+* :func:`interrupt_guard` — SIGINT/SIGTERM trapping for graceful
+  epoch-boundary stops and emergency checkpoints.
+
+Everything emits ``resilience/*`` metrics through the ambient
+:func:`repro.obs.current` observer. Consumers: per-chunk timeouts and
+worker replacement in :class:`repro.runtime.ParallelExecutor`, crash-safe
+``repro pretrain --resume``, and :class:`repro.serve.EmbeddingService`
+deadlines/shedding/degraded mode. See docs/RESILIENCE.md.
+"""
+
+from .autoresume import (
+    InterruptState,
+    find_latest_checkpoint,
+    interrupt_guard,
+    resume_trainer,
+)
+from .policies import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    LoadShedError,
+    ResilienceError,
+    RetryExhaustedError,
+    RetryPolicy,
+)
+
+__all__ = [
+    "ResilienceError",
+    "RetryExhaustedError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
+    "LoadShedError",
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "find_latest_checkpoint",
+    "resume_trainer",
+    "interrupt_guard",
+    "InterruptState",
+]

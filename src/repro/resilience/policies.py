@@ -1,0 +1,341 @@
+"""Composable resilience primitives: retries, deadlines, circuit breaking.
+
+Three small, dependency-free building blocks shared by the runtime, the
+training loop and the serving layer:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  **deterministic** jitter (derived from ``(seed, attempt)`` via
+  ``numpy.random.SeedSequence``), so two runs with the same seed back off
+  identically — retry schedules are reproducible, like everything else in
+  this codebase.
+* :class:`Deadline` — a monotonic time budget threaded through a request;
+  ``check()`` raises :class:`DeadlineExceeded` once the budget is spent.
+* :class:`CircuitBreaker` — a closed → open → half-open state machine
+  that stops hammering a failing dependency and probes it again after a
+  recovery timeout.
+
+All three emit ``resilience/*`` metrics through the ambient
+:func:`repro.obs.current` observer (a no-op when observability is off),
+so every retry, timeout and breaker transition is visible in the same
+substrate as training telemetry. See docs/RESILIENCE.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..obs import current
+
+__all__ = [
+    "ResilienceError",
+    "RetryExhaustedError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
+    "LoadShedError",
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class for failures raised by the resilience primitives."""
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every attempt of a :meth:`RetryPolicy.call` failed.
+
+    The final attempt's exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"operation failed after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}")
+
+
+class DeadlineExceeded(ResilienceError):
+    """A :class:`Deadline` budget was spent before the work finished."""
+
+
+class CircuitOpenError(ResilienceError):
+    """A :class:`CircuitBreaker` refused the call (dependency unhealthy)."""
+
+
+class LoadShedError(ResilienceError):
+    """A request was rejected to protect an overloaded service."""
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (first try included); must be >= 1.
+    base_delay:
+        Delay before the first retry, in seconds. ``0`` disables sleeping
+        entirely (useful in tests and for in-process retries).
+    multiplier:
+        Exponential growth factor between consecutive retries.
+    max_delay:
+        Cap on any single backoff delay.
+    jitter:
+        Fraction of each delay randomised away (0 = none, 0.5 = up to half).
+        The jitter for retry ``i`` depends only on ``(seed, i)``, so
+        schedules are bit-reproducible across runs and worker counts.
+    seed:
+        Root of the jitter stream.
+    sleep:
+        Injectable sleep function (tests pass a recorder).
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=3, base_delay=0.1, seed=7)
+    >>> policy.call(flaky_io)          # retries twice, then gives up
+    """
+
+    def __init__(self, max_attempts: int = 3, *, base_delay: float = 0.05,
+                 multiplier: float = 2.0, max_delay: float = 2.0,
+                 jitter: float = 0.5, seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.seed = seed
+        self.sleep = sleep
+
+    # ------------------------------------------------------------------
+    def delay(self, retry: int) -> float:
+        """Backoff before retry ``retry`` (0-based), jitter included.
+
+        Deterministic: depends only on the policy parameters and
+        ``(seed, retry)``, never on wall-clock or call history.
+        """
+        if retry < 0:
+            raise ValueError("retry index must be >= 0")
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** retry)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, retry]))
+        return raw * (1.0 - self.jitter * float(rng.random()))
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule (one entry per possible retry)."""
+        return [self.delay(i) for i in range(self.max_attempts - 1)]
+
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable, *args,
+             retry_on: tuple[type[BaseException], ...] = (Exception,),
+             on_retry: Callable[[int, BaseException], None] | None = None,
+             **kwargs):
+        """Run ``fn(*args, **kwargs)`` under this policy.
+
+        Exceptions matching ``retry_on`` consume an attempt (counted under
+        ``resilience/retries``); anything else propagates immediately.
+        After the last attempt a :class:`RetryExhaustedError` is raised
+        (counted under ``resilience/giveups``) with the final error
+        chained. ``on_retry(retry_index, error)`` is invoked before each
+        backoff sleep.
+        """
+        obs = current()
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as error:  # noqa: PERF203 — retry loop
+                last = error
+                if attempt == self.max_attempts - 1:
+                    break
+                obs.increment("resilience/retries")
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                pause = self.delay(attempt)
+                if pause > 0:
+                    self.sleep(pause)
+        obs.increment("resilience/giveups")
+        raise RetryExhaustedError(self.max_attempts, last) from last
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+class Deadline:
+    """A monotonic time budget; ``None`` seconds means unlimited.
+
+    Instances are cheap value objects created per request and threaded
+    through the code doing the work; long-running stages call
+    :meth:`check` at natural yield points (between encoder chunks,
+    between epochs, …).
+    """
+
+    __slots__ = ("seconds", "_clock", "_expires")
+
+    def __init__(self, seconds: float | None, *,
+                 clock: Callable[[], float] = time.monotonic):
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self._expires = None if seconds is None else clock() + seconds
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` for an unlimited deadline; can go negative)."""
+        if self._expires is None:
+            return float("inf")
+        return self._expires - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, label: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` (and count it) once expired."""
+        if self.expired:
+            current().increment("resilience/deadline_exceeded")
+            raise DeadlineExceeded(
+                f"{label} exceeded its {self.seconds:.3f}s deadline")
+
+    def __repr__(self) -> str:
+        if self.seconds is None:
+            return "Deadline(unlimited)"
+        return f"Deadline({self.seconds}s, remaining={self.remaining():.3f}s)"
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Closed → open → half-open failure isolation for a dependency.
+
+    * **closed** — calls flow; consecutive failures are counted and reset
+      on any success. ``failure_threshold`` consecutive failures trip the
+      breaker (counted under ``resilience/breaker_open``).
+    * **open** — calls are refused (:meth:`allow` returns False,
+      :meth:`call` raises :class:`CircuitOpenError`, counted under
+      ``resilience/breaker_rejections``) until ``recovery_timeout``
+      seconds have passed.
+    * **half-open** — one probe call is let through; success closes the
+      breaker, failure re-opens it and restarts the recovery clock.
+
+    The current state is mirrored to the ``resilience/breaker_state``
+    gauge (0 = closed, 1 = half-open, 2 = open).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    _STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+    def __init__(self, failure_threshold: int = 5, *,
+                 recovery_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 name: str = "breaker"):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if recovery_timeout <= 0:
+            raise ValueError(
+                f"recovery_timeout must be positive, got {recovery_timeout}")
+        self.failure_threshold = failure_threshold
+        self.recovery_timeout = recovery_timeout
+        self.name = name
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._openings = 0
+        self._rejections = 0
+        self._failures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state; an expired open breaker reads as half-open."""
+        if self._state == self.OPEN and self._opened_at is not None \
+                and self._clock() - self._opened_at >= self.recovery_timeout:
+            self._transition(self.HALF_OPEN)
+        return self._state
+
+    def _transition(self, state: str) -> None:
+        self._state = state
+        current().set_gauge("resilience/breaker_state",
+                            self._STATE_GAUGE[state])
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (open breakers refuse)."""
+        state = self.state
+        if state == self.OPEN:
+            self._rejections += 1
+            current().increment("resilience/breaker_rejections")
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self._state != self.CLOSED:
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        current().increment("resilience/breaker_failures")
+        if self._state == self.HALF_OPEN:
+            self._open()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._openings += 1
+        current().increment("resilience/breaker_open")
+        self._transition(self.OPEN)
+
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn`` through the breaker, recording the outcome."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is open; retry after "
+                f"{self.recovery_timeout}s recovery timeout")
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def stats(self) -> dict:
+        """State + lifetime counters, for ``stats()``-style surfaces."""
+        return {
+            "state": self.state,
+            "failures": self._failures,
+            "openings": self._openings,
+            "rejections": self._rejections,
+        }
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(name={self.name!r}, state={self.state!r}, "
+                f"threshold={self.failure_threshold})")

@@ -16,6 +16,19 @@ from a serial run:
   extra times (covering workers killed by the OOM killer or flaky I/O);
   the original traceback travels back as text and is raised in the parent
   as :class:`ParallelExecutionError` once the budget is exhausted.
+* **Fault containment** — the pool is self-managed (one task inbox and one
+  private result pipe per worker process — no lock is ever shared between
+  workers, so a worker killed at any instant cannot strand a lock a
+  sibling needs), and the parent can *see* sick workers:
+  a worker that dies mid-chunk (``resilience/worker_deaths``) is replaced
+  and its chunk resubmitted; a worker that exceeds the per-chunk
+  ``timeout`` is declared hung (``resilience/hung_workers``), terminated
+  and replaced; after ``max_pool_failures`` such events the executor
+  stops trusting process workers and finishes the remaining chunks
+  serially (``resilience/serial_degradations``). Because chunks are
+  deterministic and reassembled by index, none of this changes results —
+  the bit-identical serial-vs-parallel guarantee holds through every
+  recovery path.
 * **Serial fallback** — with ``workers <= 1``, a single item, or on
   platforms without ``fork``, ``map`` degrades to an in-process loop over
   the *same* task wrapper, so the serial and parallel code paths cannot
@@ -29,21 +42,29 @@ variable, else 1 (see :func:`resolve_workers`).
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import multiprocessing.connection
 import os
+import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
-from concurrent.futures import wait as futures_wait
+from collections import deque
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..obs import current
+from ..resilience import RetryPolicy
 
 __all__ = ["ParallelExecutor", "ParallelExecutionError", "resolve_workers",
            "task_seeds"]
 
 _WORKERS_ENV = "REPRO_WORKERS"
+
+# Parent poll interval while waiting for results; bounds how stale the
+# liveness/deadline checks can be, so a hung worker is detected within
+# roughly `timeout + _TICK` seconds.
+_TICK = 0.05
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -79,7 +100,12 @@ def task_seeds(base_seed: int, n: int) -> list[int]:
 
 
 class ParallelExecutionError(RuntimeError):
-    """A task failed on every attempt; carries the worker-side traceback."""
+    """A task failed on every attempt; carries the worker-side traceback.
+
+    For exceptions raised inside the worker function, ``remote_traceback``
+    is the formatted remote traceback; for workers that died or hung,
+    it describes the process-level failure instead.
+    """
 
     def __init__(self, index: int, attempts: int, remote_traceback: str):
         self.index = index
@@ -113,6 +139,26 @@ def _run_chunk(fn: Callable, chunk: list) -> tuple[bool, object]:
         return False, traceback.format_exc()
 
 
+def _worker_main(fn: Callable, inbox, result_conn) -> None:
+    """Worker loop: pull ``(chunk_index, chunk)`` tasks until the sentinel.
+
+    Results go back over this worker's *private* pipe, synchronously from
+    this thread. That matters for fault containment: the pipe has exactly
+    one writer, so no shared lock exists that a killed worker could leave
+    held (``multiprocessing.Queue``'s background feeder thread would — a
+    task calling ``os._exit`` can strand the queue's write-lock and
+    deadlock every sibling's results).
+    """
+    _worker_init()
+    while True:
+        task = inbox.get()
+        if task is None:
+            return
+        index, chunk = task
+        ok, payload = _run_chunk(fn, chunk)
+        result_conn.send((index, ok, payload))
+
+
 class _SeededTask:
     """Picklable wrapper calling ``fn(item, seed)`` for map_seeded."""
 
@@ -122,6 +168,41 @@ class _SeededTask:
     def __call__(self, pair):
         item, seed = pair
         return self.fn(item, seed)
+
+
+class _WorkerHandle:
+    """One managed worker: process, private task inbox, private result pipe."""
+
+    __slots__ = ("process", "inbox", "reader")
+
+    def __init__(self, process, inbox, reader):
+        self.process = process
+        self.inbox = inbox
+        self.reader = reader
+
+    def stop(self, *, force: bool = False) -> None:
+        """Best-effort shutdown: sentinel first, escalation if needed.
+
+        The result pipe is closed unread — a worker terminated mid-send
+        leaves a partial frame, and abandoning the pipe (rather than ever
+        calling ``recv`` on it) is what keeps that from blocking anyone.
+        """
+        if self.process.is_alive() and not force:
+            try:
+                self.inbox.put(None)
+            except (OSError, ValueError):
+                pass
+            self.process.join(timeout=0.5)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=0.5)
+        if self.process.is_alive():  # pragma: no cover — terminate refused
+            self.process.kill()
+            self.process.join(timeout=0.5)
+        try:
+            self.reader.close()
+        except OSError:  # pragma: no cover — already closed
+            pass
 
 
 class ParallelExecutor:
@@ -138,7 +219,20 @@ class ParallelExecutor:
         stragglers rebalance) — always at least 1.
     retries:
         Extra attempts for a failed chunk before raising
-        :class:`ParallelExecutionError`.
+        :class:`ParallelExecutionError`. Worker deaths and hangs consume
+        the same budget as in-task exceptions.
+    timeout:
+        Per-chunk attempt budget in seconds; a worker that exceeds it is
+        declared hung, terminated and replaced, and the chunk resubmitted.
+        ``None`` (default) disables hang detection.
+    max_pool_failures:
+        Process-level failures (deaths + hangs) tolerated before the
+        executor degrades to completing the remaining chunks serially.
+    backoff:
+        Optional :class:`repro.resilience.RetryPolicy` used purely for its
+        deterministic backoff schedule between resubmissions of a failed
+        chunk (attempt counting stays with the executor). Default: no
+        delay.
 
     Examples
     --------
@@ -148,12 +242,21 @@ class ParallelExecutor:
     """
 
     def __init__(self, workers: int | None = None, *,
-                 chunk_size: int | None = None, retries: int = 1):
+                 chunk_size: int | None = None, retries: int = 1,
+                 timeout: float | None = None, max_pool_failures: int = 3,
+                 backoff: RetryPolicy | None = None):
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if max_pool_failures < 1:
+            raise ValueError("max_pool_failures must be >= 1")
         self.workers = resolve_workers(workers)
         self.chunk_size = chunk_size
         self.retries = retries
+        self.timeout = timeout
+        self.max_pool_failures = max_pool_failures
+        self.backoff = backoff
 
     # ------------------------------------------------------------------
     @property
@@ -190,6 +293,14 @@ class ParallelExecutor:
         return self.map(_SeededTask(fn), pairs)
 
     # ------------------------------------------------------------------
+    def _pause_before_retry(self, attempt: int) -> None:
+        """Deterministic backoff between chunk attempts (off by default)."""
+        if self.backoff is None:
+            return
+        pause = self.backoff.delay(attempt)
+        if pause > 0:
+            self.backoff.sleep(pause)
+
     def _map_serial(self, fn: Callable, items: list) -> list:
         results = []
         for index, item in enumerate(items):
@@ -201,34 +312,188 @@ class ParallelExecutor:
                 current().increment("runtime/retries")
                 if attempt == self.retries:
                     raise ParallelExecutionError(index, attempt + 1, payload)
+                self._pause_before_retry(attempt)
         return results
 
+    def _run_chunk_serially(self, fn: Callable, chunks: list, index: int,
+                            chunk_size: int, first_attempt: int) -> list:
+        """Finish one chunk in-process, honouring its remaining attempts."""
+        for attempt in range(first_attempt, self.retries + 1):
+            ok, payload = _run_chunk(fn, chunks[index])
+            if ok:
+                return payload
+            current().increment("runtime/retries")
+            if attempt == self.retries:
+                raise ParallelExecutionError(
+                    index * chunk_size, attempt + 1, payload)
+            self._pause_before_retry(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Self-managed worker pool
+    # ------------------------------------------------------------------
     def _map_pool(self, fn: Callable, items: list) -> list:
+        obs = current()
         chunk_size = self.chunk_size
         if chunk_size is None:
             chunk_size = max(1, -(-len(items) // (4 * self.workers)))
         chunks = [items[start:start + chunk_size]
                   for start in range(0, len(items), chunk_size)]
         results: list = [None] * len(chunks)
+        done = [False] * len(chunks)
+        completed = 0
+        # (chunk_index, attempt) queue; failed chunks rejoin at the front so
+        # stragglers retry before fresh work piles on.
+        pending: deque[tuple[int, int]] = deque(
+            (i, 0) for i in range(len(chunks)))
+
         context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=self.workers,
-                                 mp_context=context,
-                                 initializer=_worker_init) as pool:
-            pending = {pool.submit(_run_chunk, fn, chunk): (index, 0)
-                       for index, chunk in enumerate(chunks)}
-            while pending:
-                done, _ = futures_wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, attempts = pending.pop(future)
-                    ok, payload = future.result()
-                    if ok:
-                        results[index] = payload
+        worker_ids = itertools.count()
+        workers: dict[int, _WorkerHandle] = {}
+        # worker_id -> (chunk_index, attempt, deadline | None)
+        outstanding: dict[int, tuple[int, int, float | None]] = {}
+        pool_failures = 0
+        degraded = False
+
+        def spawn_worker() -> None:
+            worker_id = next(worker_ids)
+            inbox = context.SimpleQueue()
+            reader, writer = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_worker_main, args=(fn, inbox, writer),
+                name=f"repro-worker-{worker_id}", daemon=True)
+            process.start()
+            writer.close()  # the child keeps its copy; ours would mask EOF
+            workers[worker_id] = _WorkerHandle(process, inbox, reader)
+
+        def retire_worker(worker_id: int, *, force: bool) -> None:
+            handle = workers.pop(worker_id)
+            outstanding.pop(worker_id, None)
+            handle.stop(force=force)
+
+        def handle_pool_failure(worker_id: int, counter: str,
+                                description: str) -> None:
+            """A worker died or hung mid-chunk: contain, count, resubmit."""
+            nonlocal pool_failures, degraded
+            index, attempt, _ = outstanding[worker_id]
+            retire_worker(worker_id, force=True)
+            pool_failures += 1
+            obs.increment(counter)
+            obs.increment("runtime/retries")
+            if attempt >= self.retries:
+                raise ParallelExecutionError(
+                    index * chunk_size, attempt + 1, description)
+            self._pause_before_retry(attempt)
+            pending.appendleft((index, attempt + 1))
+            if pool_failures >= self.max_pool_failures:
+                degraded = True
+            else:
+                spawn_worker()
+
+        def check_workers() -> None:
+            now = time.monotonic()
+            for worker_id in list(outstanding):
+                index, _, deadline = outstanding[worker_id]
+                process = workers[worker_id].process
+                if not process.is_alive():
+                    handle_pool_failure(
+                        worker_id, "resilience/worker_deaths",
+                        f"worker process for chunk {index} died with "
+                        f"exitcode {process.exitcode} before returning a "
+                        f"result")
+                elif deadline is not None and now > deadline:
+                    handle_pool_failure(
+                        worker_id, "resilience/hung_workers",
+                        f"worker process for chunk {index} exceeded the "
+                        f"{self.timeout}s per-chunk timeout and was "
+                        f"terminated")
+
+        def accept_result(worker_id: int, index: int, ok: bool,
+                          payload) -> None:
+            nonlocal completed
+            entry = outstanding.pop(worker_id, None)
+            if done[index] or entry is None:
+                # Retired workers' pipes are never read, so this is purely
+                # defensive: nothing to record, nothing to double-count.
+                return
+            if ok:
+                results[index] = payload
+                done[index] = True
+                completed += 1
+                return
+            attempt = entry[1]
+            obs.increment("runtime/retries")
+            if attempt >= self.retries:
+                raise ParallelExecutionError(
+                    index * chunk_size, attempt + 1, payload)
+            self._pause_before_retry(attempt)
+            pending.appendleft((index, attempt + 1))
+
+        try:
+            for _ in range(min(self.workers, len(chunks))):
+                spawn_worker()
+            while completed < len(chunks) and not degraded:
+                # Dispatch to idle workers.
+                idle = [wid for wid in workers if wid not in outstanding]
+                for worker_id in idle:
+                    if not pending:
+                        break
+                    index, attempt = pending.popleft()
+                    try:
+                        workers[worker_id].inbox.put((index, chunks[index]))
+                    except (OSError, ValueError):
+                        # Inbox pipe already broken — treat as a dead worker.
+                        pending.appendleft((index, attempt))
+                        retire_worker(worker_id, force=True)
+                        spawn_worker()
                         continue
-                    current().increment("runtime/retries")
-                    if attempts >= self.retries:
-                        first_failed = index * chunk_size
-                        raise ParallelExecutionError(
-                            first_failed, attempts + 1, payload)
-                    retry = pool.submit(_run_chunk, fn, chunks[index])
-                    pending[retry] = (index, attempts + 1)
+                    deadline = None if self.timeout is None \
+                        else time.monotonic() + self.timeout
+                    outstanding[worker_id] = (index, attempt, deadline)
+                # Collect whatever results are ready (or time out and run
+                # health checks). Only *live* workers' pipes are waited on;
+                # a retired worker's pipe may hold a partial frame and is
+                # never touched again.
+                readers = {handle.reader: wid
+                           for wid, handle in workers.items()}
+                ready = multiprocessing.connection.wait(
+                    list(readers), timeout=_TICK)
+                if not ready:
+                    check_workers()
+                    continue
+                for conn in ready:
+                    worker_id = readers[conn]
+                    if worker_id not in workers:
+                        continue  # retired earlier in this same batch
+                    try:
+                        index, ok, payload = conn.recv()
+                    except (EOFError, OSError):
+                        # The worker died with nothing (complete) to read;
+                        # check_workers attributes and handles the death.
+                        check_workers()
+                        continue
+                    accept_result(worker_id, index, ok, payload)
+            if degraded:
+                # The pool has failed too often to be trusted; reclaim every
+                # in-flight chunk and finish the job in-process. Results are
+                # keyed by chunk index, so the output is bit-identical to an
+                # all-parallel (or all-serial) run.
+                obs.increment("resilience/serial_degradations")
+                obs.set_gauge("runtime/degraded", 1)
+                for worker_id in list(workers):
+                    entry = outstanding.get(worker_id)
+                    if entry is not None:
+                        pending.appendleft((entry[0], entry[1]))
+                    retire_worker(worker_id, force=True)
+                while pending:
+                    index, attempt = pending.popleft()
+                    if done[index]:
+                        continue
+                    results[index] = self._run_chunk_serially(
+                        fn, chunks, index, chunk_size, attempt)
+                    done[index] = True
+                    completed += 1
+        finally:
+            for worker_id in list(workers):
+                retire_worker(worker_id, force=False)
         return [value for chunk in results for value in chunk]

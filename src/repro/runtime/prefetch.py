@@ -17,7 +17,12 @@ drop-in replacement:
 The queue is bounded (``prefetch`` batches), so memory stays flat no
 matter how far the producer could run ahead. Abandoning iteration early
 (``break``) stops the producer promptly — the generator's ``finally``
-block signals it and drains the queue.
+block signals it and drains the queue — and :meth:`PrefetchLoader.close`
+(also reachable via ``with PrefetchLoader(...) as loader:``) shuts down
+*every* producer the loader ever started, covering consumers whose
+abandoned generator is not finalised promptly (reference cycles,
+alternative interpreters), so a partially consumed epoch can never leave
+a thread blocked on a full queue.
 
 Batch assembly in this codebase is pure numpy concatenation, which
 releases the GIL, so a single producer thread overlaps usefully with
@@ -61,10 +66,47 @@ class PrefetchLoader:
             raise ValueError("prefetch must be >= 1")
         self.loader = loader
         self.prefetch = prefetch
+        # Live producer epochs: (stop event, queue, thread). Entries are
+        # removed when an epoch ends normally; `close()` sweeps the rest.
+        self._epochs: list[tuple[threading.Event, queue.Queue,
+                                 threading.Thread]] = []
 
     def __len__(self) -> int:
         return len(self.loader)
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _shutdown(stop: threading.Event, out: queue.Queue,
+                  producer: threading.Thread) -> None:
+        stop.set()
+        while True:  # unblock a producer stuck on a full queue
+            try:
+                out.get_nowait()
+            except queue.Empty:
+                break
+        producer.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Stop every producer thread this loader started.
+
+        Idempotent and safe mid-epoch: each live producer is signalled,
+        its queue drained and the thread joined. Call it (or use the
+        loader as a context manager) when abandoning consumption so no
+        producer is left blocked on a full queue.
+        """
+        while self._epochs:
+            stop, out, producer = self._epochs.pop()
+            self._shutdown(stop, out, producer)
+
+    def __enter__(self) -> "PrefetchLoader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     def __iter__(self) -> Iterator:
         obs = current()
         out: queue.Queue = queue.Queue(maxsize=self.prefetch)
@@ -89,6 +131,8 @@ class PrefetchLoader:
                                     daemon=True)
         with obs.span("runtime/prefetch"):
             producer.start()
+        record = (stop, out, producer)
+        self._epochs.append(record)
         expected = 0
         try:
             while True:
@@ -103,10 +147,6 @@ class PrefetchLoader:
                 expected += 1
                 yield batch
         finally:
-            stop.set()
-            while True:  # unblock a producer stuck on a full queue
-                try:
-                    out.get_nowait()
-                except queue.Empty:
-                    break
-            producer.join(timeout=5.0)
+            if record in self._epochs:
+                self._epochs.remove(record)
+            self._shutdown(stop, out, producer)

@@ -14,10 +14,12 @@ substrate as training telemetry.
 from .checkpoint import (
     SCHEMA_VERSION,
     Checkpoint,
+    CheckpointIntegrityError,
     load_checkpoint,
     load_trainer,
     read_checkpoint_header,
     save_checkpoint,
+    verify_checkpoint,
 )
 from .registry import ModelRegistry
 from .service import EmbeddingService, PendingEmbedding, graph_digest
@@ -26,9 +28,11 @@ from .telemetry import Telemetry
 __all__ = [
     "SCHEMA_VERSION",
     "Checkpoint",
+    "CheckpointIntegrityError",
     "save_checkpoint",
     "load_checkpoint",
     "read_checkpoint_header",
+    "verify_checkpoint",
     "load_trainer",
     "EmbeddingService",
     "PendingEmbedding",

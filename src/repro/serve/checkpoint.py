@@ -20,11 +20,21 @@ input feature dimension, so stale or mismatched bundles fail loudly instead
 of producing garbage embeddings. Writes go through :func:`atomic_write`
 (temp file + rename), so concurrent benchmark runs can never observe a
 truncated bundle.
+
+Every bundle additionally embeds a **sha256 checksum** of its array
+payload in the header; :func:`load_checkpoint` recomputes and compares it
+(raising :class:`CheckpointIntegrityError` on mismatch), and
+:func:`verify_checkpoint` turns any corruption — truncation, bit flips,
+an unreadable archive — into a boolean for checkpoint discovery
+(:func:`repro.resilience.find_latest_checkpoint`), which skips invalid
+files instead of dying mid-resume. Bundles from before the checksum era
+load unchanged (no checksum → nothing to compare).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import time
 from pathlib import Path
@@ -40,15 +50,40 @@ from ..nn import Module, Optimizer
 __all__ = [
     "SCHEMA_VERSION",
     "Checkpoint",
+    "CheckpointIntegrityError",
     "save_checkpoint",
     "load_checkpoint",
     "read_checkpoint_header",
+    "verify_checkpoint",
     "load_trainer",
 ]
 
 SCHEMA_VERSION = 1
 
 _GROUPS = ("model", "encoder", "optimizer")
+
+
+class CheckpointIntegrityError(ValueError):
+    """A checkpoint's array payload does not match its stored checksum."""
+
+
+def _arrays_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """sha256 over the array payload (key, dtype, shape, bytes; sorted).
+
+    Stable across save/load because ``.npz`` round-trips dtype and shape
+    exactly; the ``__header__`` entry is excluded so the checksum can be
+    stored inside it.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        if key == "__header__":
+            continue
+        value = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(value.dtype).encode())
+        digest.update(str(value.shape).encode())
+        digest.update(value.tobytes())
+    return digest.hexdigest()
 
 
 def _find_encoder(model: Module) -> GNNEncoder | None:
@@ -99,6 +134,7 @@ def save_checkpoint(path: str | Path, model: Module, *,
     if dataclasses.is_dataclass(config):
         config = dataclasses.asdict(config)
     header = {
+        "checksum": _arrays_checksum(arrays),
         "schema_version": SCHEMA_VERSION,
         "repro_version": __version__,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -135,8 +171,16 @@ def read_checkpoint_header(path: str | Path) -> dict:
 
 
 def load_checkpoint(path: str | Path) -> "Checkpoint":
-    """Load a bundle written by :func:`save_checkpoint`."""
+    """Load a bundle written by :func:`save_checkpoint`.
+
+    When the header carries a checksum (every bundle written since the
+    field was introduced), the array payload is re-hashed and compared —
+    a truncated or bit-flipped bundle raises
+    :class:`CheckpointIntegrityError` here instead of producing silently
+    wrong parameters downstream.
+    """
     groups: dict[str, dict[str, np.ndarray]] = {g: {} for g in _GROUPS}
+    arrays: dict[str, np.ndarray] = {}
     with np.load(Path(path), allow_pickle=False) as archive:
         header = _validated_header(archive)
         for key in archive.files:
@@ -145,9 +189,29 @@ def load_checkpoint(path: str | Path) -> "Checkpoint":
             group, _, name = key.partition("/")
             if group not in groups or not name:
                 raise ValueError(f"malformed checkpoint entry {key!r}")
-            groups[group][name] = archive[key]
+            groups[group][name] = arrays[key] = archive[key]
+    expected = header.get("checksum")
+    if expected is not None and _arrays_checksum(arrays) != expected:
+        raise CheckpointIntegrityError(
+            f"checkpoint {path} failed its sha256 integrity check; "
+            "the file is corrupt (truncated write or bit rot)")
     return Checkpoint(header, groups["model"], groups["encoder"],
                       groups["optimizer"])
+
+
+def verify_checkpoint(path: str | Path) -> bool:
+    """Whether ``path`` is a fully readable, checksum-valid bundle.
+
+    Any failure mode — missing file, truncated archive, malformed header,
+    wrong schema version, checksum mismatch — returns False rather than
+    raising, so checkpoint discovery can skip damaged files and fall back
+    to an older valid one.
+    """
+    try:
+        load_checkpoint(path)
+    except Exception:  # noqa: BLE001 — every failure means "not usable"
+        return False
+    return True
 
 
 class Checkpoint:

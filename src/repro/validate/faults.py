@@ -7,21 +7,37 @@ Every helper here either returns a corrupted **copy** of a graph (the
 original is never touched) or temporarily patches a model so a chosen
 batch produces a NaN loss.
 
+The second half of the module is the **chaos harness** backing
+``tests/resilience/``: process-level injectors that kill
+(:class:`KillWorkerOnce`) or hang (:class:`HangWorkerOnce`) a pool
+worker exactly once per marker file, on-disk checkpoint corruption
+(:func:`corrupt_checkpoint`: truncation, bit garbage, emptying), and a
+:class:`FlakyIO` wrapper that fails a callable's first N calls. All are
+deterministic — kill/hang injectors coordinate through a marker file so
+the *retry* of the same chunk succeeds, proving recovery rather than
+luck. ``REPRO_CHAOS=1`` (see :func:`chaos_enabled`) gates the expensive
+process-level legs in CI.
+
 These are test utilities: nothing in the library imports them outside of
 ``tests/`` and the examples.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from contextlib import contextmanager
 from itertools import count
+from pathlib import Path
 
 import numpy as np
 
 from ..graph import Graph
 
 __all__ = ["corrupt_features", "break_edge_symmetry", "point_edge_out_of_bounds",
-           "corrupt_label", "inject_nan_loss"]
+           "corrupt_label", "inject_nan_loss",
+           "chaos_enabled", "KillWorkerOnce", "HangWorkerOnce",
+           "corrupt_checkpoint", "FlakyIO"]
 
 
 def corrupt_features(graph: Graph, node: int = 0, feature: int = 0,
@@ -106,3 +122,123 @@ def inject_nan_loss(model, batches=(0,), attr: str = "loss"):
         yield
     finally:
         delattr(model, attr)  # uncover the original bound method
+
+
+# ----------------------------------------------------------------------
+# Chaos harness: process, checkpoint and I/O fault injectors
+# ----------------------------------------------------------------------
+def chaos_enabled() -> bool:
+    """Whether the expensive chaos legs are enabled (``REPRO_CHAOS=1``)."""
+    return os.environ.get("REPRO_CHAOS") == "1"
+
+
+class KillWorkerOnce:
+    """Picklable task fn that hard-kills the worker process once.
+
+    The first call with ``item`` (before the marker file exists) writes
+    the marker and calls ``os._exit`` — the worker dies without returning
+    a result or running ``finally`` blocks, exactly like an OOM kill.
+    Every other call (including the retry of the same item) computes
+    ``fn``-less identity ``item``, so a recovered map returns the full
+    deterministic result.
+    """
+
+    def __init__(self, marker: str | Path, item=0, exit_code: int = 9):
+        self.marker = str(marker)
+        self.item = item
+        self.exit_code = exit_code
+
+    def __call__(self, x):
+        marker = Path(self.marker)
+        if x == self.item and not marker.exists():
+            marker.write_text("killed")
+            os._exit(self.exit_code)
+        return x
+
+    def fired(self) -> bool:
+        """Whether the kill already happened (marker exists)."""
+        return Path(self.marker).exists()
+
+
+class HangWorkerOnce:
+    """Picklable task fn that hangs the worker process once.
+
+    The first call with ``item`` writes the marker and sleeps for
+    ``seconds`` (default: effectively forever relative to any test
+    timeout) — simulating a deadlocked or livelocked worker. Retries of
+    the same item return immediately.
+    """
+
+    def __init__(self, marker: str | Path, item=0, seconds: float = 300.0):
+        self.marker = str(marker)
+        self.item = item
+        self.seconds = seconds
+
+    def __call__(self, x):
+        marker = Path(self.marker)
+        if x == self.item and not marker.exists():
+            marker.write_text("hung")
+            time.sleep(self.seconds)
+        return x
+
+    def fired(self) -> bool:
+        return Path(self.marker).exists()
+
+
+def corrupt_checkpoint(path: str | Path, mode: str = "truncate") -> Path:
+    """Damage a checkpoint file on disk, deterministically.
+
+    Modes
+    -----
+    ``"truncate"``
+        Cut the file to half its length — a crash mid-write (the exact
+        failure :func:`repro.data.io.atomic_write` prevents for *our*
+        writers, but external copies/transfers can still produce).
+    ``"garbage"``
+        Overwrite 64 bytes in the middle with a fixed pattern — bit rot
+        or a bad block. The zip container often still opens; the sha256
+        checksum is what catches this one.
+    ``"empty"``
+        Truncate to zero bytes.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if mode == "truncate":
+        path.write_bytes(data[:len(data) // 2])
+    elif mode == "garbage":
+        if len(data) < 128:
+            raise ValueError(f"{path} too small to garble ({len(data)} B)")
+        middle = len(data) // 2
+        corrupted = bytearray(data)
+        corrupted[middle:middle + 64] = b"\xde\xad\xbe\xef" * 16
+        path.write_bytes(bytes(corrupted))
+    elif mode == "empty":
+        path.write_bytes(b"")
+    else:
+        raise ValueError(
+            f"unknown corruption mode {mode!r}; "
+            "use 'truncate', 'garbage' or 'empty'")
+    return path
+
+
+class FlakyIO:
+    """Wrap a callable so its first ``failures`` calls raise ``OSError``.
+
+    Deterministic flaky-I/O injector for exercising
+    :class:`repro.resilience.RetryPolicy` and executor retries: the
+    failure count is per-instance state, so a policy with
+    ``max_attempts > failures`` always recovers and one with fewer never
+    does.
+    """
+
+    def __init__(self, fn, failures: int = 2):
+        self.fn = fn
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise OSError(
+                f"injected flaky I/O failure {self.calls}/{self.failures}")
+        return self.fn(*args, **kwargs)

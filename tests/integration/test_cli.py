@@ -118,6 +118,79 @@ def test_embed_rejects_mismatched_features(tmp_path):
               "--dataset", "PROTEINS", "--scale", "0.1"])
 
 
+def test_pretrain_checkpoint_dir_then_resume(capsys, tmp_path):
+    """Crash-safe mode writes per-epoch checkpoints and resumes from them."""
+    directory = tmp_path / "run"
+    base = ["pretrain", "--method", "SGCL", "--dataset", "MUTAG",
+            "--scale", "0.1", "--checkpoint-dir", str(directory)]
+    main(base + ["--epochs", "2"])
+    out = capsys.readouterr().out
+    assert "2 epoch(s)" in out
+    assert (directory / "latest.npz").exists()
+
+    # Asking for more epochs picks up where the first run stopped.
+    main(base + ["--epochs", "3", "--resume"])
+    out = capsys.readouterr().out
+    assert "resuming at epoch 3" in out
+    assert "3 epoch(s)" in out
+
+    # Already satisfied: resume is a no-op, not a retrain.
+    main(base + ["--epochs", "3", "--resume"])
+    out = capsys.readouterr().out
+    assert "3 epoch(s)" in out
+
+
+def test_pretrain_resume_requires_checkpoint_dir():
+    with pytest.raises(SystemExit, match="--checkpoint-dir"):
+        main(["pretrain", "--resume"])
+
+
+def test_pretrain_checkpoint_dir_rejects_baselines(tmp_path):
+    with pytest.raises(SystemExit, match="SGCL only"):
+        main(["pretrain", "--method", "GraphCL",
+              "--checkpoint-dir", str(tmp_path)])
+
+
+def test_embed_reports_failing_checkpoint_path(tmp_path):
+    missing = tmp_path / "nope.npz"
+    with pytest.raises(SystemExit, match="nope.npz"):
+        main(["embed", "--checkpoint", str(missing), "--dataset", "MUTAG",
+              "--scale", "0.1"])
+
+
+def test_embed_reports_corrupt_checkpoint_path(tmp_path):
+    bad = tmp_path / "bad.npz"
+    bad.write_bytes(b"not an archive at all")
+    with pytest.raises(SystemExit, match="bad.npz"):
+        main(["embed", "--checkpoint", str(bad), "--dataset", "MUTAG",
+              "--scale", "0.1"])
+
+
+def test_main_translates_keyboard_interrupt_to_130(monkeypatch, capsys):
+    import repro.cli as cli
+
+    def interrupt(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(
+        cli, "build_parser",
+        lambda: _parser_with(interrupt))
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["datasets"])
+    assert excinfo.value.code == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
+def _parser_with(fn):
+    import argparse
+
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers(dest="command", required=True)
+    stub = sub.add_parser("datasets")
+    stub.set_defaults(fn=fn)
+    return parser
+
+
 def test_pretrain_with_log_dir_writes_log_manifest_and_reports(
         tmp_path, capsys):
     log_dir = tmp_path / "runs"

@@ -1,0 +1,101 @@
+"""Chaos tests: the pool survives killed, hung and repeatedly-failing workers.
+
+Process-level injection is gated behind ``REPRO_CHAOS=1`` (the CI chaos
+leg sets it); see :mod:`repro.validate.faults` for the injectors. Every
+test asserts three things about an injected failure: it is *detected*
+(within a wall-clock bound for hangs), it is *recovered* (the map returns
+the full, correct result) and it is *counted* (``resilience/*`` metrics).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import Observer
+from repro.runtime import ParallelExecutionError, ParallelExecutor
+from repro.runtime.executor import fork_available
+from repro.validate.faults import HangWorkerOnce, KillWorkerOnce, chaos_enabled
+
+pytestmark = [
+    pytest.mark.skipif(not chaos_enabled(),
+                       reason="chaos tests run with REPRO_CHAOS=1"),
+    pytest.mark.skipif(not fork_available(),
+                       reason="process chaos needs the fork start method"),
+]
+
+
+def test_killed_worker_is_replaced_and_chunk_recomputed(tmp_path):
+    job = KillWorkerOnce(tmp_path / "killed", item=0)
+    observer = Observer()
+    with observer.activate():
+        result = ParallelExecutor(workers=2, chunk_size=1,
+                                  retries=1).map(job, list(range(4)))
+    assert result == [0, 1, 2, 3]
+    assert job.fired()
+    assert observer.metrics.count("resilience/worker_deaths") == 1
+    assert observer.metrics.count("runtime/retries") == 1
+
+
+def test_hung_worker_detected_within_timeout_and_recovered(tmp_path):
+    timeout = 0.5
+    job = HangWorkerOnce(tmp_path / "hung", item=0, seconds=300.0)
+    observer = Observer()
+    started = time.monotonic()
+    with observer.activate():
+        result = ParallelExecutor(workers=2, chunk_size=1, retries=1,
+                                  timeout=timeout).map(job, list(range(4)))
+    elapsed = time.monotonic() - started
+    assert result == [0, 1, 2, 3]
+    assert job.fired()
+    # Detection is bounded by the per-chunk timeout plus the parent's poll
+    # tick; the generous bound keeps slow CI machines from flaking while
+    # still proving we never waited out the 300s sleep.
+    assert elapsed < timeout + 10.0
+    assert observer.metrics.count("resilience/hung_workers") == 1
+    assert observer.metrics.count("runtime/retries") == 1
+
+
+def test_pool_degrades_to_serial_after_max_failures(tmp_path):
+    job = KillWorkerOnce(tmp_path / "killed", item=0)
+    observer = Observer()
+    with observer.activate():
+        result = ParallelExecutor(workers=2, chunk_size=1, retries=2,
+                                  max_pool_failures=1).map(job, list(range(6)))
+    assert result == [0, 1, 2, 3, 4, 5]
+    assert observer.metrics.count("resilience/serial_degradations") == 1
+    assert observer.metrics.gauge("runtime/degraded") == 1
+    assert observer.metrics.count("resilience/worker_deaths") >= 1
+
+
+def _always_kill(x):
+    import os
+
+    if x == 0:
+        os._exit(9)
+    return x
+
+
+def test_repeatedly_killed_chunk_exhausts_retries():
+    # No marker coordination: the chunk's worker dies on *every* attempt,
+    # so the retry budget runs out and the failure surfaces with a
+    # process-level description instead of hanging the parent.
+    observer = Observer()
+    with observer.activate():
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            ParallelExecutor(workers=2, chunk_size=1, retries=1,
+                             max_pool_failures=10).map(_always_kill,
+                                                       list(range(3)))
+    assert excinfo.value.attempts == 2
+    assert "died" in excinfo.value.remote_traceback
+    assert observer.metrics.count("resilience/worker_deaths") == 2
+
+
+def test_chaos_map_stays_bit_identical_to_serial(tmp_path):
+    """The recovery paths never change results, only wall-time."""
+    job = KillWorkerOnce(tmp_path / "killed", item=2)
+    chaotic = ParallelExecutor(workers=2, chunk_size=1,
+                               retries=1).map(job, list(range(8)))
+    serial = ParallelExecutor(workers=1).map(lambda x: x, list(range(8)))
+    assert chaotic == serial

@@ -1,0 +1,190 @@
+"""Resilience primitives: retry backoff, deadlines, circuit breaking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observer
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    RetryExhaustedError,
+    RetryPolicy,
+)
+from repro.validate.faults import FlakyIO
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_backoff_is_exponential_and_capped():
+    policy = RetryPolicy(max_attempts=6, base_delay=0.1, multiplier=2.0,
+                         max_delay=0.5, jitter=0.0)
+    assert policy.delays() == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_jitter_is_deterministic_per_seed():
+    a = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=7)
+    b = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=7)
+    c = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5, seed=8)
+    assert a.delays() == b.delays()
+    assert a.delays() != c.delays()
+    # Jitter only ever shortens the raw delay, never exceeds it.
+    raw = RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.0).delays()
+    assert all(0 < d <= r for d, r in zip(a.delays(), raw))
+
+
+def test_call_recovers_from_transient_flaky_io():
+    sleeps = []
+    policy = RetryPolicy(max_attempts=3, base_delay=0.25, jitter=0.0,
+                         sleep=sleeps.append)
+    flaky = FlakyIO(lambda: "payload", failures=2)
+    assert policy.call(flaky) == "payload"
+    assert flaky.calls == 3
+    assert sleeps == [0.25, 0.5]
+
+
+def test_call_exhaustion_raises_and_counts():
+    observer = Observer()
+    flaky = FlakyIO(lambda: "never", failures=10)
+    with observer.activate():
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            RetryPolicy(max_attempts=3, base_delay=0.0).call(flaky)
+    assert excinfo.value.attempts == 3
+    assert isinstance(excinfo.value.__cause__, OSError)
+    assert observer.metrics.count("resilience/retries") == 2
+    assert observer.metrics.count("resilience/giveups") == 1
+
+
+def test_call_does_not_retry_unlisted_exceptions():
+    calls = []
+
+    def typo():
+        calls.append(1)
+        raise TypeError("not retryable")
+
+    with pytest.raises(TypeError):
+        RetryPolicy(max_attempts=5, base_delay=0.0).call(
+            typo, retry_on=(OSError,))
+    assert len(calls) == 1
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Deadline
+# ----------------------------------------------------------------------
+def test_deadline_expires_on_fake_clock():
+    now = [0.0]
+    deadline = Deadline(5.0, clock=lambda: now[0])
+    assert deadline.remaining() == pytest.approx(5.0)
+    assert not deadline.expired
+    deadline.check()  # fine while within budget
+    now[0] = 5.1
+    assert deadline.expired
+    observer = Observer()
+    with observer.activate():
+        with pytest.raises(DeadlineExceeded, match="deadline"):
+            deadline.check("encode")
+    assert observer.metrics.count("resilience/deadline_exceeded") == 1
+
+
+def test_unlimited_deadline_never_expires():
+    deadline = Deadline(None)
+    assert deadline.remaining() == float("inf")
+    deadline.check()
+    assert not deadline.expired
+
+
+def test_deadline_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        Deadline(0.0)
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+def _breaker(clock, threshold=2, recovery=10.0):
+    return CircuitBreaker(failure_threshold=threshold,
+                          recovery_timeout=recovery,
+                          clock=lambda: clock[0], name="test")
+
+
+def test_breaker_opens_after_threshold_and_recovers():
+    clock = [0.0]
+    breaker = _breaker(clock)
+    observer = Observer()
+    with observer.activate():
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        # Recovery timeout elapses -> half-open probe allowed.
+        clock[0] = 10.5
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+    assert observer.metrics.count("resilience/breaker_open") == 1
+    assert observer.metrics.count("resilience/breaker_rejections") == 1
+    assert observer.metrics.gauge("resilience/breaker_state") == 0
+
+
+def test_half_open_failure_reopens():
+    clock = [0.0]
+    breaker = _breaker(clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    clock[0] = 11.0
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    breaker.record_failure()      # probe failed
+    assert breaker.state == CircuitBreaker.OPEN
+    clock[0] = 15.0               # clock restarted at reopen: still open
+    assert breaker.state == CircuitBreaker.OPEN
+    clock[0] = 21.5
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+
+
+def test_breaker_call_wraps_and_rejects():
+    clock = [0.0]
+    breaker = _breaker(clock, threshold=1)
+
+    def bad():
+        raise RuntimeError("dependency down")
+
+    with pytest.raises(RuntimeError):
+        breaker.call(bad)
+    with pytest.raises(CircuitOpenError):
+        breaker.call(lambda: "unreached")
+    stats = breaker.stats()
+    assert stats["state"] == CircuitBreaker.OPEN
+    assert stats["failures"] == 1
+    assert stats["openings"] == 1
+    assert stats["rejections"] == 1
+
+
+def test_success_resets_consecutive_failures():
+    clock = [0.0]
+    breaker = _breaker(clock, threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(recovery_timeout=0.0)

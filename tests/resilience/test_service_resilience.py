@@ -1,0 +1,197 @@
+"""EmbeddingService under failure: deadlines, breaker fallback, shedding."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from _helpers import make_path, make_triangle
+
+from repro.gnn import GNNEncoder
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    LoadShedError,
+)
+from repro.serve import EmbeddingService
+
+
+class _FlakyEncoder:
+    """Encoder wrapper whose forward pass can be failed or slowed at will."""
+
+    def __init__(self, encoder, *, delay=0.0):
+        self.encoder = encoder
+        self.delay = delay
+        self.fail = False
+
+    def eval(self):
+        self.encoder.eval()
+        return self
+
+    def __getattr__(self, name):
+        return getattr(self.encoder, name)
+
+    def graph_representations(self, batch):
+        if self.fail:
+            raise RuntimeError("injected encoder failure")
+        if self.delay:
+            time.sleep(self.delay)
+        return self.encoder.graph_representations(batch)
+
+
+@pytest.fixture
+def encoder(rng):
+    return GNNEncoder(4, 8, 2, rng=rng)
+
+
+@pytest.fixture
+def graphs(rng):
+    return [make_triangle(rng, y=0), make_path(rng, n=4, y=1),
+            make_path(rng, n=5, y=0), make_path(rng, n=6, y=1)]
+
+
+def _service(encoder, **kwargs):
+    kwargs.setdefault("max_batch_size", 1)
+    return EmbeddingService(encoder, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Request deadlines
+# ----------------------------------------------------------------------
+def test_slow_request_exceeds_deadline(encoder, graphs):
+    slow = _FlakyEncoder(encoder, delay=0.05)
+    service = _service(slow, deadline_seconds=0.02)
+    with pytest.raises(DeadlineExceeded):
+        service.embed(graphs)  # chunk 1 eats the budget; chunk 2 is refused
+    assert service.stats()["resilience"]["timeouts"] == 1
+
+
+def test_fast_request_meets_deadline(encoder, graphs):
+    service = _service(encoder, deadline_seconds=30.0)
+    assert service.embed(graphs).shape[0] == len(graphs)
+    assert service.stats()["resilience"]["timeouts"] == 0
+
+
+def test_cached_request_never_times_out(encoder, graphs):
+    slow = _FlakyEncoder(encoder)
+    service = _service(slow, deadline_seconds=0.02)
+    service.embed(graphs)      # fast: populate the cache
+    slow.delay = 10.0          # encoder now far too slow...
+    rows = service.embed(graphs)  # ...but fully cached requests skip it
+    assert rows.shape[0] == len(graphs)
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker -> cache-only degraded mode -> recovery
+# ----------------------------------------------------------------------
+def test_breaker_opens_then_serves_cache_only_then_recovers(encoder, graphs):
+    clock = [0.0]
+    breaker = CircuitBreaker(failure_threshold=1, recovery_timeout=10.0,
+                             clock=lambda: clock[0], name="test-encoder")
+    flaky = _FlakyEncoder(encoder)
+    service = _service(flaky, breaker=breaker)
+    cached, uncached = graphs[0], graphs[1]
+    expected = service.embed(cached)  # healthy: populate the cache
+
+    flaky.fail = True
+    with pytest.raises(RuntimeError, match="injected"):
+        service.embed(uncached)
+    assert breaker.state == CircuitBreaker.OPEN
+
+    # Degraded mode: cached traffic still flows, encoder traffic is shed.
+    assert np.array_equal(service.embed(cached), expected)
+    with pytest.raises(CircuitOpenError):
+        service.embed(uncached)
+    resilience = service.stats()["resilience"]
+    assert resilience["encoder_failures"] == 1
+    assert resilience["shed"] >= 1
+    assert resilience["breaker"]["state"] == CircuitBreaker.OPEN
+
+    # Recovery: timeout elapses, the half-open probe succeeds, traffic flows.
+    clock[0] = 10.5
+    flaky.fail = False
+    assert service.embed(uncached).shape[0] == 1
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_failed_probe_reopens(encoder, graphs):
+    clock = [0.0]
+    breaker = CircuitBreaker(failure_threshold=1, recovery_timeout=5.0,
+                             clock=lambda: clock[0])
+    flaky = _FlakyEncoder(encoder)
+    service = _service(flaky, breaker=breaker)
+    flaky.fail = True
+    with pytest.raises(RuntimeError):
+        service.embed(graphs[0])
+    clock[0] = 5.5
+    with pytest.raises(RuntimeError):  # half-open probe fails
+        service.embed(graphs[0])
+    assert breaker.state == CircuitBreaker.OPEN
+
+
+# ----------------------------------------------------------------------
+# Bounded-queue load shedding
+# ----------------------------------------------------------------------
+def test_submit_sheds_past_max_queue(encoder, graphs):
+    service = EmbeddingService(encoder, max_batch_size=64, max_queue=2)
+    service.submit(graphs[0])
+    service.submit(graphs[1])
+    with pytest.raises(LoadShedError, match="max_queue"):
+        service.submit(graphs[2])
+    assert service.stats()["resilience"]["shed"] == 1
+    assert service.stats()["resilience"]["queue_depth"] == 2
+    service.flush()  # backlog drains; the shed graph can now be resubmitted
+    assert service.submit(graphs[2]).result().shape == (8,)
+
+
+def test_cached_submit_accepted_even_when_queue_full(encoder, graphs):
+    service = EmbeddingService(encoder, max_batch_size=64, max_queue=1)
+    cached = graphs[0]
+    service.embed(cached)
+    service.submit(graphs[1])  # fills the queue
+    handle = service.submit(cached)  # cached: accepted, no queue slot needed
+    assert handle.result().shape == (8,)
+
+
+def test_uncached_submit_shed_while_breaker_open(encoder, graphs):
+    breaker = CircuitBreaker(failure_threshold=1, recovery_timeout=30.0)
+    service = EmbeddingService(encoder, breaker=breaker)
+    breaker.record_failure()  # trip it
+    with pytest.raises(LoadShedError, match="circuit"):
+        service.submit(graphs[0])
+
+
+def test_flush_requeues_uncomputed_graphs_on_failure(encoder, graphs):
+    flaky = _FlakyEncoder(encoder)
+    service = EmbeddingService(flaky, max_batch_size=64)
+    handles = [service.submit(g) for g in graphs[:2]]
+    flaky.fail = True
+    with pytest.raises(RuntimeError):
+        service.flush()
+    assert service.stats()["resilience"]["queue_depth"] == 2
+    flaky.fail = False  # dependency recovers; pending handles still resolve
+    assert all(h.result().shape == (8,) for h in handles)
+
+
+# ----------------------------------------------------------------------
+# Stats surface
+# ----------------------------------------------------------------------
+def test_stats_resilience_block(encoder, graphs):
+    service = EmbeddingService(encoder, deadline_seconds=5.0, max_queue=8)
+    service.embed(graphs)
+    resilience = service.stats()["resilience"]
+    assert resilience == {
+        "shed": 0, "timeouts": 0, "encoder_failures": 0,
+        "breaker": {"state": "closed", "failures": 0, "openings": 0,
+                    "rejections": 0},
+        "queue_depth": 0, "max_queue": 8, "deadline_seconds": 5.0,
+    }
+
+
+def test_service_parameter_validation(encoder):
+    with pytest.raises(ValueError):
+        EmbeddingService(encoder, deadline_seconds=0.0)
+    with pytest.raises(ValueError):
+        EmbeddingService(encoder, max_queue=0)

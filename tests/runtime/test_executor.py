@@ -148,6 +148,37 @@ def test_retries_exhausted_raises():
         ParallelExecutor(workers=1, retries=3).map(_boom, [1])
 
 
+def _boom_on_three(x):
+    if x == 3:
+        raise ValueError(f"boom on {x}")
+    return x
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_retry_exhaustion_counts_attempts(workers):
+    """`runtime/retries` matches the error's attempt count in both paths."""
+    observer = Observer()
+    with observer.activate():
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            ParallelExecutor(workers=workers, chunk_size=1,
+                             retries=2).map(_boom_on_three, [1, 2, 3, 4])
+    assert excinfo.value.attempts == 3
+    assert "boom on 3" in excinfo.value.remote_traceback
+    assert observer.metrics.count("runtime/retries") == excinfo.value.attempts
+
+
+def test_backoff_schedule_respected_between_retries():
+    from repro.resilience import RetryPolicy
+
+    sleeps = []
+    policy = RetryPolicy(max_attempts=9, base_delay=0.2, jitter=0.0,
+                         sleep=sleeps.append)
+    with pytest.raises(ParallelExecutionError):
+        ParallelExecutor(workers=1, retries=2,
+                         backoff=policy).map(_boom, [1])
+    assert sleeps == [0.2, 0.4]
+
+
 def test_negative_retries_rejected():
     with pytest.raises(ValueError):
         ParallelExecutor(workers=1, retries=-1)

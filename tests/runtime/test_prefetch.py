@@ -57,6 +57,38 @@ def test_prefetch_early_break_then_reiterate(rng):
     assert np.array_equal(first.x, next(iter(DataLoader(graphs, 2))).x)
 
 
+def test_close_stops_producer_after_partial_consumption(rng):
+    """A consumer that stops after one batch must not leak a blocked thread."""
+    import threading
+
+    graphs = _graphs(rng, 20)
+    loader = PrefetchLoader(DataLoader(graphs, 2), prefetch=1)
+    iterator = iter(loader)
+    next(iterator)                       # producer now blocked on a full queue
+    assert loader._epochs
+    loader.close()
+    assert not loader._epochs
+    assert not any(t.name == "repro-prefetch" and t.is_alive()
+                   for t in threading.enumerate())
+    loader.close()                       # idempotent
+    # The loader is still usable for a fresh epoch afterwards.
+    first = next(iter(loader))
+    assert np.array_equal(first.x, next(iter(DataLoader(graphs, 2))).x)
+
+
+def test_context_manager_closes_producers(rng):
+    import threading
+
+    graphs = _graphs(rng, 20)
+    with PrefetchLoader(DataLoader(graphs, 2), prefetch=1) as loader:
+        for i, _ in enumerate(loader):
+            if i == 1:
+                break
+    assert not loader._epochs
+    assert not any(t.name == "repro-prefetch" and t.is_alive()
+                   for t in threading.enumerate())
+
+
 class _ExplodingLoader:
     def __init__(self, graphs, fail_at):
         self.graphs = graphs
