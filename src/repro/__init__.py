@@ -8,7 +8,7 @@ inventory.
 
 # Defined before the submodule imports: serve.checkpoint stamps it into
 # checkpoint headers at import time.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from . import (
     baselines,
@@ -16,6 +16,7 @@ from . import (
     core,
     data,
     eval,
+    fleet,
     gnn,
     graph,
     nn,
@@ -37,6 +38,7 @@ __all__ = [
     "bench",
     "obs",
     "serve",
+    "fleet",
     "validate",
     "__version__",
 ]

@@ -14,6 +14,9 @@ Commands
     Pre-train a method and write a serving checkpoint.
 ``embed``
     Serve embeddings of a dataset from a checkpoint (cached inference).
+``serve``
+    Serve a dataset through an N-shard embedding fleet (consistent-hash
+    routing, failover, optional canary deploy) and report fleet telemetry.
 ``report``
     Render a JSONL run log (written via ``--log-dir``) as tables.
 ``doctor``
@@ -52,6 +55,8 @@ Examples
     python -m repro save --method SGCL --dataset MUTAG --out ckpt/sgcl.npz
     python -m repro embed --checkpoint ckpt/sgcl.npz --dataset MUTAG \
         --out embeddings.npz --stats
+    python -m repro serve --checkpoint ckpt/sgcl.npz --dataset MUTAG \
+        --workers 4 --repeat 3 --stats
     python -m repro doctor --dataset MUTAG --scale 0.1
 """
 
@@ -358,6 +363,89 @@ def _cmd_embed(args: argparse.Namespace) -> None:
         print(json.dumps(service.stats(), indent=2))
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import zipfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from .data import load_dataset
+    from .data.io import atomic_write
+    from .fleet import CanaryController, build_fleet
+    from .serve import EmbeddingService, read_checkpoint_header
+
+    if args.canary_checkpoint is None and args.canary_slice is not None:
+        raise SystemExit("serve: --canary-slice requires --canary-checkpoint")
+    try:
+        header = read_checkpoint_header(args.checkpoint)
+        router = build_fleet(args.checkpoint, args.workers,
+                             policy=args.policy, cache_size=args.cache_size,
+                             max_batch_size=args.batch_size)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as error:
+        raise SystemExit(
+            f"serve: cannot load checkpoint {args.checkpoint}: "
+            f"{error}") from error
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    if header["in_dim"] is not None \
+            and dataset.num_features != header["in_dim"]:
+        raise SystemExit(
+            f"checkpoint expects {header['in_dim']} node features; "
+            f"{args.dataset} has {dataset.num_features}")
+    controller = None
+    if args.canary_checkpoint:
+        from .serve.checkpoint import load_checkpoint
+
+        slice_fraction = args.canary_slice \
+            if args.canary_slice is not None else 0.25
+        try:
+            bundle = load_checkpoint(args.canary_checkpoint)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as error:
+            raise SystemExit(
+                f"serve: cannot load canary checkpoint "
+                f"{args.canary_checkpoint}: {error}") from error
+        version = bundle.metadata.get("name") \
+            or Path(args.canary_checkpoint).stem
+        router.deploy_canary(
+            lambda: EmbeddingService(bundle.build_encoder(),
+                                     cache_size=args.cache_size,
+                                     max_batch_size=args.batch_size),
+            version, slice_fraction)
+        controller = CanaryController(router)
+    observer, log_path = _observer_from_args(args)
+    with observer.activate(), router:
+        embeddings = None
+        for _ in range(args.repeat):
+            result = router.embed_detailed(dataset.graphs)
+            embeddings = result.embeddings
+        stats = router.stats()
+        versions = sorted(result.served_versions())
+        print(f"served {stats['graphs']} graph(s) over {args.repeat} pass(es) "
+              f"across {stats['workers']} worker(s) [{stats['policy']}]: "
+              f"hit rate {stats['cache']['hit_rate']:.3f}, "
+              f"p50 {stats['latency']['p50_ms']:.2f}ms, "
+              f"version(s) {', '.join(versions)}")
+        if controller is not None:
+            decision = controller.step()
+            print(f"canary decision: {decision} "
+                  f"(stable is now {router.workers[0].version})")
+        if args.out:
+            out = Path(args.out)
+            if out.suffix != ".npz":
+                out = out.with_suffix(".npz")
+            try:
+                with atomic_write(out, suffix=".npz") as tmp:
+                    np.savez_compressed(tmp, embeddings=embeddings,
+                                        labels=dataset.labels())
+            except OSError as error:
+                raise SystemExit(
+                    f"serve: cannot write {out}: {error}") from error
+            print(f"wrote {embeddings.shape[0]}×{embeddings.shape[1]} "
+                  f"embeddings to {out}")
+        if args.stats:
+            print(json.dumps(stats, indent=2))
+    _finish_observer(observer, log_path, args)
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--log-dir", default=None,
                         help="write a JSONL event log + run manifest here")
@@ -466,6 +554,38 @@ def build_parser() -> argparse.ArgumentParser:
     embed.add_argument("--stats", action="store_true",
                        help="print service telemetry after embedding")
     embed.set_defaults(fn=_cmd_embed)
+
+    serve = sub.add_parser(
+        "serve", help="checkpoint → sharded embedding fleet")
+    serve.add_argument("--checkpoint", required=True)
+    serve.add_argument("--dataset", default="MUTAG")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="fleet replicas behind the router")
+    serve.add_argument("--policy", default="hash",
+                       choices=["hash", "random"],
+                       help="consistent-hash sharding vs the random-routing "
+                            "baseline")
+    serve.add_argument("--repeat", type=int, default=2,
+                       help="passes over the dataset (later passes exercise "
+                            "the shard caches)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--scale", type=float, default=0.1)
+    serve.add_argument("--batch-size", type=int, default=64)
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="per-replica embedding cache capacity")
+    serve.add_argument("--canary-checkpoint", default=None,
+                       help="deploy this checkpoint as a canary before "
+                            "serving; promoted or rolled back on telemetry "
+                            "after the run")
+    serve.add_argument("--canary-slice", type=float, default=None,
+                       help="fraction of digest space the canary serves "
+                            "(default 0.25)")
+    serve.add_argument("--out", default=None,
+                       help="write embeddings + labels to this .npz")
+    serve.add_argument("--stats", action="store_true",
+                       help="print fleet telemetry after serving")
+    _add_observability_flags(serve)
+    serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -1,0 +1,52 @@
+"""Sharded embedding fleet: routing, failover, hot model swap.
+
+The serving tier's scale-out layer, built on four existing subsystems
+(`serve`, `resilience`, `obs`, `runtime`):
+
+* :class:`HashRing` — consistent hashing of ``graph_digest`` space;
+  process- and hash-seed-independent, ~1/N remap per membership change.
+* :class:`FleetWorker` — one shard: an :class:`~repro.serve.EmbeddingService`
+  plus liveness, a per-replica :class:`~repro.resilience.CircuitBreaker`
+  and stable/canary model slots.
+* :class:`ProcessReplica` — the same shard surface served from a forked
+  child over a private pipe (real kill/hang detection; requires fork).
+* :class:`FleetRouter` — ``embed(graphs)`` across N shards: each digest
+  has one home shard (fleet-wide cache hit rate beats N independent
+  LRUs), dead/breaker-open/raising shards fail over along the ring
+  (``fleet/failover``), every row is stamped with the model version and
+  worker that produced it.
+* :class:`CanaryController` — telemetry-thresholded promote/rollback of
+  a hot-swapped model version, with
+  :func:`fleet_from_registry` / :func:`deploy_canary_from_registry`
+  tying the flow to :class:`~repro.serve.ModelRegistry`.
+
+`benchmarks/bench_serving_load.py` drives all of it with a synthetic
+open/closed-loop zipfian load and writes ``BENCH_serving.json``; the
+``repro serve`` CLI is the command-line entry point. See docs/SERVING.md.
+"""
+
+from .canary import (
+    CanaryController,
+    deploy_canary_from_registry,
+    fleet_from_registry,
+)
+from .hashing import HashRing
+from .process import ProcessReplica
+from .router import FleetExhaustedError, FleetResult, FleetRouter, build_fleet
+from .worker import FleetWorker, ModelSlot, WorkerDownError, canary_fraction
+
+__all__ = [
+    "HashRing",
+    "FleetWorker",
+    "ModelSlot",
+    "WorkerDownError",
+    "canary_fraction",
+    "ProcessReplica",
+    "FleetRouter",
+    "FleetResult",
+    "FleetExhaustedError",
+    "build_fleet",
+    "CanaryController",
+    "fleet_from_registry",
+    "deploy_canary_from_registry",
+]

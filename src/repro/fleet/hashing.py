@@ -1,0 +1,131 @@
+"""Consistent-hash ring over the ``graph_digest`` key space.
+
+The fleet shards its content-addressed embedding cache by graph digest:
+every digest has exactly one **home shard**, so a graph is cached on one
+worker fleet-wide instead of once per worker that happens to see it.
+:class:`HashRing` provides the assignment with the two properties the
+fleet needs:
+
+* **process-independent determinism** — ring points are derived from
+  sha256 of the worker id (and of the digest on lookup), never from
+  Python's seeded ``hash()``; the same digest maps to the same worker in
+  every process, under every ``PYTHONHASHSEED``, forever.
+* **minimal remapping** — each worker owns ``vnodes`` points on the ring,
+  so removing one worker of N remaps only the ~1/N of keys it owned (each
+  to the next worker clockwise) and adding a worker steals ~1/(N+1) of
+  keys, all of them to the new worker. Every other key keeps its home
+  shard and therefore its warm cache.
+
+:meth:`preference` extends :meth:`assign` to an ordered failover
+sequence: the home shard first, then the distinct workers encountered
+walking the ring clockwise — the order :class:`~repro.fleet.FleetRouter`
+tries replicas in when a shard is down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+__all__ = ["HashRing"]
+
+
+def _point(key: str) -> int:
+    """Position of ``key`` on the ring: the first 8 bytes of its sha256."""
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing of digest strings onto named workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker ids (strings); order does not matter.
+    vnodes:
+        Virtual nodes per worker. More vnodes smooth the load split at
+        the cost of a larger (still tiny) sorted ring; 64 keeps the
+        imbalance across a handful of workers within a few percent.
+    """
+
+    def __init__(self, workers=(), *, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._workers: set[str] = set()
+        self._ring: list[tuple[int, str]] = []  # sorted (point, worker_id)
+        for worker_id in workers:
+            self.add(worker_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> list[str]:
+        """Current worker ids, sorted."""
+        return sorted(self._workers)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._workers
+
+    # ------------------------------------------------------------------
+    def add(self, worker_id: str) -> None:
+        """Add a worker's vnodes to the ring (idempotent-hostile: raises)."""
+        if not worker_id:
+            raise ValueError("worker_id must be a non-empty string")
+        if worker_id in self._workers:
+            raise ValueError(f"worker {worker_id!r} is already on the ring")
+        self._workers.add(worker_id)
+        for i in range(self.vnodes):
+            self._ring.append((_point(f"{worker_id}#{i}"), worker_id))
+        self._ring.sort()
+
+    def remove(self, worker_id: str) -> None:
+        """Drop a worker; only the keys it owned are remapped."""
+        if worker_id not in self._workers:
+            raise KeyError(f"worker {worker_id!r} is not on the ring")
+        self._workers.discard(worker_id)
+        self._ring = [(p, w) for p, w in self._ring if w != worker_id]
+
+    # ------------------------------------------------------------------
+    def assign(self, digest: str) -> str:
+        """Home shard for ``digest``: the first vnode clockwise of its point."""
+        if not self._ring:
+            raise LookupError("hash ring has no workers")
+        index = bisect_right(self._ring, (_point(digest), "￿"))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    def preference(self, digest: str, n: int | None = None) -> list[str]:
+        """Failover order for ``digest``: home shard, then ring successors.
+
+        Returns up to ``n`` (default: all) **distinct** worker ids in the
+        order they appear walking clockwise from the digest's point —
+        a deterministic per-digest permutation whose first entry is
+        :meth:`assign`'s answer.
+        """
+        if not self._ring:
+            raise LookupError("hash ring has no workers")
+        limit = len(self._workers) if n is None else min(n, len(self._workers))
+        start = bisect_right(self._ring, (_point(digest), "￿"))
+        order: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._ring)):
+            worker_id = self._ring[(start + offset) % len(self._ring)][1]
+            if worker_id not in seen:
+                seen.add(worker_id)
+                order.append(worker_id)
+                if len(order) == limit:
+                    break
+        return order
+
+    # ------------------------------------------------------------------
+    def table(self, digests) -> dict[str, str]:
+        """Assignment of every digest in ``digests`` (stability testing)."""
+        return {digest: self.assign(digest) for digest in digests}
+
+    def __repr__(self) -> str:
+        return (f"HashRing(workers={len(self._workers)}, "
+                f"vnodes={self.vnodes})")

@@ -1,0 +1,293 @@
+"""Multiprocess fleet backend: one embedding service per forked child.
+
+:class:`ProcessReplica` is the process-isolated twin of
+:class:`~repro.fleet.FleetWorker`: same duck-typed surface the
+:class:`~repro.fleet.FleetRouter` dispatches to (``worker_id`` /
+``alive`` / ``breaker`` / ``embed_items`` / ``stats`` / the hot-swap
+verbs), but the service lives in a forked child that rebuilds its
+encoder from a checkpoint path. A replica OOM-killed or ``SIGKILL``-ed
+mid-request is detected by the parent's liveness poll and surfaces as
+:class:`~repro.fleet.WorkerDownError` — exactly the signal the router's
+failover path consumes, so a real process death drains onto the
+surviving shards the same way an in-process ``kill()`` does.
+
+The fault-containment lessons from :class:`repro.runtime.ParallelExecutor`
+carry over:
+
+* each replica talks over its **own private duplex pipe** — a single
+  writer per direction, no shared queue lock a dying child could strand;
+* the child runs under the **null observer** (a forked child inherits
+  the parent's activation stack, and letting every replica append to
+  one JSONL log would interleave writes);
+* requests are bounded by ``response_timeout`` — a hung child reads as
+  down rather than blocking the fleet.
+
+Chaos hook: ``fault`` is a picklable callable invoked in the child with
+the running request ordinal before each embed —
+:class:`repro.validate.faults.KillWorkerOnce` drops straight in to kill
+the replica on request *k* exactly once per marker file.
+
+Requires ``fork`` (see :func:`repro.runtime.fork_available`); construct
+in-process :class:`FleetWorker`\\ s on platforms without it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+
+from ..resilience import CircuitBreaker, Deadline, DeadlineExceeded
+from ..runtime import fork_available
+from ..serve.service import EmbeddingService
+from .worker import FleetWorker, WorkerDownError
+
+__all__ = ["ProcessReplica"]
+
+
+def _child_main(conn, worker_id: str, checkpoint: str, version: str,
+                cache_size: int, max_batch_size: int, fault) -> None:
+    """Child loop: serve embed/stats/hot-swap requests until ``stop``.
+
+    Wraps a regular :class:`FleetWorker` around a service rebuilt from
+    the checkpoint, so slot selection, canary fallback and telemetry
+    behave identically to the in-process backend.
+    """
+    from ..obs.observer import _ACTIVE, NULL_OBSERVER
+
+    _ACTIVE[:] = [NULL_OBSERVER]
+    worker = FleetWorker(
+        worker_id,
+        EmbeddingService.from_checkpoint(checkpoint, cache_size=cache_size,
+                                         max_batch_size=max_batch_size),
+        version=version)
+    requests = 0
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        kind, *payload = message
+        try:
+            if kind == "stop":
+                conn.send(("ok", None))
+                return
+            if kind == "embed":
+                requests += 1
+                if fault is not None:
+                    fault(requests - 1)
+                result = worker.embed_items(payload[0])
+            elif kind == "stats":
+                result = worker.stats()
+            elif kind == "canary":
+                service, slot_version, slice_fraction = payload
+                worker.deploy_canary(service, slot_version, slice_fraction)
+                result = None
+            elif kind == "promote":
+                result = worker.promote_canary()
+            elif kind == "rollback":
+                result = worker.rollback_canary()
+            elif kind == "swap":
+                worker.swap_model(*payload)
+                result = payload[1]
+            else:
+                raise ValueError(f"unknown fleet message {kind!r}")
+        except Exception:  # noqa: BLE001 — serialised back to the parent
+            conn.send(("err", traceback.format_exc()))
+        else:
+            conn.send(("ok", result))
+
+
+class ProcessReplica:
+    """A fleet shard served from a forked child process.
+
+    Parameters
+    ----------
+    worker_id:
+        Name on the hash ring.
+    checkpoint:
+        Bundle the child rebuilds its encoder from (read in the child —
+        N replicas do N reads, but no encoder ever crosses the pipe at
+        startup).
+    version:
+        Stable model version tag (defaults to the checkpoint stem).
+    cache_size / max_batch_size:
+        Forwarded to the child's :class:`EmbeddingService`.
+    response_timeout:
+        Seconds the parent waits on any single reply before declaring
+        the replica down (hung-child detection).
+    fault:
+        Picklable chaos hook called with the request ordinal in the
+        child before each embed (e.g. ``KillWorkerOnce``).
+    breaker:
+        Parent-side per-replica breaker (router-fed); defaults match
+        :class:`FleetWorker`.
+    """
+
+    backend = "process"
+
+    def __init__(self, worker_id: str, checkpoint, *,
+                 version: str | None = None, cache_size: int = 1024,
+                 max_batch_size: int = 64, response_timeout: float = 60.0,
+                 fault=None, breaker: CircuitBreaker | None = None):
+        if not fork_available():
+            raise RuntimeError(
+                "ProcessReplica requires the fork start method; use "
+                "in-process FleetWorker objects on this platform")
+        if response_timeout <= 0:
+            raise ValueError(
+                f"response_timeout must be positive, got {response_timeout}")
+        if version is None:
+            from pathlib import Path
+
+            version = Path(str(checkpoint)).stem
+        self.worker_id = worker_id
+        self.version = version
+        self.response_timeout = response_timeout
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=3, recovery_timeout=5.0,
+            name=f"fleet-{worker_id}")
+        self.canary_version: str | None = None
+        self.canary_slice = 0.0
+        ctx = mp.get_context("fork")
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_child_main,
+            args=(child_conn, worker_id, str(checkpoint), version,
+                  cache_size, max_batch_size, fault),
+            daemon=True)
+        self._proc.start()
+        child_conn.close()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self._closed and self._proc.is_alive()
+
+    @property
+    def canary(self):
+        """Canary slot mirror (version only; the service lives remotely)."""
+        if self.canary_version is None:
+            return None
+        from .worker import ModelSlot
+
+        return ModelSlot(None, self.canary_version)
+
+    # ------------------------------------------------------------------
+    def _request(self, *message):
+        """One round trip; any process-level failure is WorkerDownError."""
+        if not self.alive:
+            raise WorkerDownError(f"replica {self.worker_id!r} is down")
+        try:
+            self._conn.send(message)
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerDownError(
+                f"replica {self.worker_id!r} pipe is broken: {error}"
+            ) from error
+        deadline = Deadline(self.response_timeout)
+        while not self._conn.poll(0.05):
+            if not self._proc.is_alive():
+                raise WorkerDownError(
+                    f"replica {self.worker_id!r} died mid-request "
+                    f"(exit code {self._proc.exitcode})")
+            try:
+                deadline.check(f"replica {self.worker_id!r} reply")
+            except DeadlineExceeded as error:
+                raise WorkerDownError(str(error)) from error
+        try:
+            kind, payload = self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise WorkerDownError(
+                f"replica {self.worker_id!r} hung up mid-reply: {error}"
+            ) from error
+        if kind == "err":
+            raise RuntimeError(
+                f"replica {self.worker_id!r} request failed; child "
+                f"traceback:\n{payload}")
+        return payload
+
+    # ------------------------------------------------------------------
+    def embed_items(self, items):
+        return self._request("embed", items)
+
+    def stats(self) -> dict:
+        """Child-side worker stats; a down replica reports a dead stub."""
+        if not self.alive:
+            return {
+                "worker_id": self.worker_id, "backend": self.backend,
+                "alive": False, "version": self.version,
+                "canary_version": self.canary_version,
+                "canary_slice": self.canary_slice, "served": 0,
+                "canary_fallbacks": 0, "breaker": self.breaker.stats(),
+                "service": {
+                    "cache": {"size": 0, "capacity": 0, "hits": 0,
+                              "misses": 0, "hit_rate": float("nan"),
+                              "evictions": 0, "lookups": 0,
+                              "occupancy": float("nan")},
+                    "encoder": {"batches": 0, "graphs": 0,
+                                "mean_batch_size": float("nan")},
+                    "latency": {"requests": 0, "mean_ms": float("nan"),
+                                "p50_ms": float("nan"),
+                                "p95_ms": float("nan")},
+                    "resilience": {"shed": 0, "timeouts": 0,
+                                   "encoder_failures": 0},
+                },
+            }
+        stats = self._request("stats")
+        stats["backend"] = self.backend
+        stats["breaker"] = self.breaker.stats()
+        return stats
+
+    # ------------------------------------------------------------------
+    # Hot swap — the service object crosses the pipe (numpy state only)
+    # ------------------------------------------------------------------
+    def deploy_canary(self, service: EmbeddingService, version: str,
+                      slice_fraction: float) -> None:
+        self._request("canary", service, version, slice_fraction)
+        self.canary_version = version
+        self.canary_slice = slice_fraction
+
+    def promote_canary(self) -> str:
+        version = self._request("promote")
+        self.version = version
+        self.canary_version = None
+        self.canary_slice = 0.0
+        return version
+
+    def rollback_canary(self) -> str:
+        dropped = self._request("rollback")
+        self.canary_version = None
+        self.canary_slice = 0.0
+        return dropped
+
+    def swap_model(self, service: EmbeddingService, version: str) -> None:
+        self._request("swap", service, version)
+        self.version = version
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """SIGKILL the child — the real thing, not a flag."""
+        if self._proc.is_alive():
+            self._proc.kill()
+            self._proc.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Graceful stop (falls back to kill on a wedged child)."""
+        if self._closed:
+            return
+        if self._proc.is_alive():
+            try:
+                self._conn.send(("stop",))
+                self._proc.join(timeout=2.0)
+            except (BrokenPipeError, OSError):
+                pass
+            if self._proc.is_alive():
+                self.kill()
+        self._conn.close()
+        self._closed = True
+
+    def __del__(self):  # pragma: no cover — best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

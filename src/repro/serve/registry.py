@@ -34,7 +34,7 @@ class ModelRegistry:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self._services: dict[str, EmbeddingService] = {}
+        self._services: dict[tuple, EmbeddingService] = {}
 
     # ------------------------------------------------------------------
     def path(self, name: str) -> Path:
@@ -60,28 +60,50 @@ class ModelRegistry:
             raise FileExistsError(
                 f"model {name!r} already registered at {path}; "
                 "pass overwrite=True to replace it")
-        self._services.pop(name, None)
+        self.evict(name)
         return save_checkpoint(path, model, config=config,
                                optimizer=optimizer,
                                metadata={"name": name, **(metadata or {})})
 
     def unregister(self, name: str) -> None:
-        """Delete a registered checkpoint (and its memoised service)."""
+        """Delete a registered checkpoint (and its memoised services)."""
         path = self.path(name)
         if not path.exists():
             raise KeyError(f"no registered model named {name!r}")
-        self._services.pop(name, None)
+        self.evict(name)
         path.unlink()
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _service_key(name: str, service_kwargs: dict) -> tuple:
+        """Memoisation key: the name plus every kwarg, order-independent.
+
+        Unhashable kwarg values (e.g. a shared ``telemetry`` registry)
+        fall back to identity, so two calls sharing the same object still
+        share a service.
+        """
+        parts = []
+        for key in sorted(service_kwargs):
+            value = service_kwargs[key]
+            try:
+                hash(value)
+            except TypeError:
+                value = ("id", id(value))
+            parts.append((key, value))
+        return (name, tuple(parts))
+
     def get(self, name: str, **service_kwargs) -> EmbeddingService:
         """An :class:`EmbeddingService` for ``name``.
 
-        Services are memoised per name so every caller shares one embedding
-        cache; ``service_kwargs`` (cache_size, max_batch_size, telemetry)
-        only take effect on the first call for a given name.
+        Services are memoised per ``(name, service_kwargs)``: repeated
+        calls with the same configuration share one embedding cache and
+        never re-read the checkpoint from disk, while a different
+        ``cache_size`` / ``max_batch_size`` / ``telemetry`` combination
+        gets its own service instead of silently inheriting the first
+        caller's settings.
         """
-        service = self._services.get(name)
+        key = self._service_key(name, service_kwargs)
+        service = self._services.get(key)
         if service is None:
             path = self.path(name)
             if not path.exists():
@@ -89,8 +111,24 @@ class ModelRegistry:
                     f"no registered model named {name!r}; "
                     f"available: {[e['name'] for e in self.list()]}")
             service = EmbeddingService.from_checkpoint(path, **service_kwargs)
-            self._services[name] = service
+            self._services[key] = service
         return service
+
+    def evict(self, name: str | None = None) -> int:
+        """Drop memoised services (all of them, or just ``name``'s).
+
+        Returns the number of services dropped. The next ``get`` re-reads
+        the checkpoint — call after replacing a bundle on disk out of
+        band, or to release encoder memory for a model no longer serving.
+        """
+        if name is None:
+            dropped = len(self._services)
+            self._services.clear()
+            return dropped
+        stale = [key for key in self._services if key[0] == name]
+        for key in stale:
+            del self._services[key]
+        return len(stale)
 
     def list(self) -> list[dict]:
         """Header summaries of every registered model, sorted by name."""

@@ -364,8 +364,10 @@ class EmbeddingService:
             "cache": {
                 "size": len(self._cache),
                 "capacity": self.cache_size,
+                "occupancy": len(self._cache) / self.cache_size,
                 "hits": int(hits),
                 "misses": int(misses),
+                "lookups": int(lookups),
                 "hit_rate": hits / lookups if lookups else float("nan"),
                 "evictions": int(t.count("cache_evictions")),
             },

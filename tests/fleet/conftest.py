@@ -1,0 +1,45 @@
+"""Shared fixtures for the fleet tests: a corpus, a checkpoint, a reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn import GNNEncoder
+from repro.graph import Graph
+from repro.serve import EmbeddingService, save_checkpoint
+
+FEATURES = 4
+
+
+def make_corpus(seed: int = 0, n: int = 24) -> list[Graph]:
+    """Distinct chain graphs (unique digests) with seeded features."""
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for _ in range(n):
+        k = int(rng.integers(3, 8))
+        pairs = np.array([(i, i + 1) for i in range(k - 1)])
+        edge_index = np.concatenate([pairs, pairs[:, ::-1]], axis=0).T
+        graphs.append(Graph(rng.normal(size=(k, FEATURES)), edge_index, y=0))
+    return graphs
+
+
+@pytest.fixture()
+def corpus() -> list[Graph]:
+    return make_corpus()
+
+
+@pytest.fixture()
+def encoder() -> GNNEncoder:
+    return GNNEncoder(FEATURES, 8, 2, rng=np.random.default_rng(1))
+
+
+@pytest.fixture()
+def checkpoint(tmp_path, encoder):
+    return save_checkpoint(tmp_path / "model.npz", encoder,
+                           metadata={"name": "m-v1"})
+
+
+@pytest.fixture()
+def reference(corpus, encoder) -> np.ndarray:
+    return EmbeddingService(encoder, cache_size=len(corpus)).embed(corpus)

@@ -1,0 +1,109 @@
+"""HashRing: determinism, balance, and the minimal-remap property."""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import HashRing
+
+WORKERS = ["w0", "w1", "w2", "w3"]
+
+
+def _digests(n: int) -> list[str]:
+    return [hashlib.sha256(f"graph-{i}".encode()).hexdigest()
+            for i in range(n)]
+
+
+def test_assignment_is_deterministic_and_order_independent():
+    digests = _digests(200)
+    a = HashRing(WORKERS)
+    b = HashRing(reversed(WORKERS))
+    assert a.table(digests) == b.table(digests)
+    assert a.table(digests) == a.table(digests)
+
+
+def test_every_worker_owns_a_share():
+    counts = {w: 0 for w in WORKERS}
+    for digest, owner in HashRing(WORKERS).table(_digests(400)).items():
+        counts[owner] += 1
+    assert all(count > 0 for count in counts.values())
+    # 64 vnodes per worker keeps the split roughly uniform; the bound is
+    # deliberately loose — it guards against collapse, not variance.
+    assert max(counts.values()) < 4 * min(counts.values())
+
+
+def test_remove_remaps_only_the_removed_workers_keys():
+    digests = _digests(300)
+    ring = HashRing(WORKERS)
+    before = ring.table(digests)
+    ring.remove("w2")
+    after = ring.table(digests)
+    moved = [d for d in digests if before[d] != after[d]]
+    assert moved, "removing a worker must remap its keys"
+    assert all(before[d] == "w2" for d in moved), \
+        "only keys owned by the removed worker may move"
+    # ~1/N of the key space (N=4), with generous slack for hash variance.
+    assert 0.10 < len(moved) / len(digests) < 0.45
+
+
+def test_add_only_steals_keys_for_the_new_worker():
+    digests = _digests(300)
+    ring = HashRing(WORKERS)
+    before = ring.table(digests)
+    ring.add("w4")
+    after = ring.table(digests)
+    moved = [d for d in digests if before[d] != after[d]]
+    assert moved
+    assert all(after[d] == "w4" for d in moved), \
+        "a new worker may only gain keys, never shuffle others"
+    assert 0.05 < len(moved) / len(digests) < 0.40
+
+
+def test_preference_order_is_distinct_and_starts_at_home():
+    ring = HashRing(WORKERS)
+    for digest in _digests(50):
+        order = ring.preference(digest)
+        assert order[0] == ring.assign(digest)
+        assert sorted(order) == sorted(WORKERS)
+        assert ring.preference(digest, n=2) == order[:2]
+
+
+def test_assignments_survive_python_hash_seed_changes():
+    """sha256 ring points, not ``hash()`` — stable across interpreter runs."""
+    digests = _digests(32)
+    script = (
+        "from repro.fleet import HashRing\n"
+        f"ring = HashRing({WORKERS!r})\n"
+        f"print('|'.join(ring.assign(d) for d in {digests!r}))\n"
+    )
+    outputs = []
+    src = Path(__file__).resolve().parents[2] / "src"
+    for hash_seed in ("0", "4242"):
+        env = {**os.environ, "PYTHONHASHSEED": hash_seed,
+               "PYTHONPATH": str(src)}
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, check=True)
+        outputs.append(proc.stdout.strip())
+    assert outputs[0] == outputs[1]
+    assert outputs[0] == "|".join(HashRing(WORKERS).assign(d)
+                                  for d in digests)
+
+
+def test_membership_and_errors():
+    ring = HashRing(["w0"])
+    assert "w0" in ring and len(ring) == 1
+    with pytest.raises(ValueError):
+        ring.add("w0")
+    with pytest.raises(KeyError):
+        ring.remove("nope")
+    ring.remove("w0")
+    with pytest.raises(LookupError):
+        ring.assign("deadbeef")
+    with pytest.raises(ValueError):
+        HashRing([], vnodes=0)

@@ -109,6 +109,37 @@ def test_save_then_embed_round_trip(capsys, tmp_path):
     assert embeddings.shape[0] == labels.shape[0] > 0
 
 
+def test_serve_command_runs_a_fleet(capsys, tmp_path):
+    checkpoint = tmp_path / "ck" / "graphcl.npz"
+    main(["save", "--method", "GraphCL", "--dataset", "MUTAG",
+          "--epochs", "1", "--scale", "0.1", "--out", str(checkpoint)])
+    capsys.readouterr()
+
+    out_file = tmp_path / "embeddings.npz"
+    main(["serve", "--checkpoint", str(checkpoint), "--dataset", "MUTAG",
+          "--scale", "0.1", "--workers", "3", "--repeat", "2",
+          "--out", str(out_file), "--stats"])
+    out = capsys.readouterr().out
+    assert "across 3 worker(s) [hash]" in out
+    assert '"policy": "hash"' in out
+    with np.load(out_file) as archive:
+        served = archive["embeddings"]
+
+    # The fleet must be bit-identical to single-service embedding.
+    main(["embed", "--checkpoint", str(checkpoint), "--dataset", "MUTAG",
+          "--scale", "0.1", "--out", str(tmp_path / "single.npz")])
+    capsys.readouterr()
+    with np.load(tmp_path / "single.npz") as archive:
+        single = archive["embeddings"]
+    assert np.array_equal(served, single)
+
+
+def test_serve_canary_slice_requires_checkpoint(tmp_path):
+    with pytest.raises(SystemExit, match="canary-checkpoint"):
+        main(["serve", "--checkpoint", str(tmp_path / "x.npz"),
+              "--canary-slice", "0.5"])
+
+
 def test_embed_rejects_mismatched_features(tmp_path):
     checkpoint = tmp_path / "gcl.npz"
     main(["save", "--method", "GraphCL", "--dataset", "MUTAG",

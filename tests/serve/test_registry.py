@@ -43,6 +43,47 @@ def test_get_memoises_services(registry, encoder, rng):
     assert second.telemetry.count("encoder_graphs") == 1
 
 
+def test_get_memoises_per_kwargs(registry, encoder, rng):
+    registry.register("m", encoder)
+    default = registry.get("m")
+    small = registry.get("m", cache_size=2)
+    assert small is not default
+    assert small.cache_size == 2
+    assert registry.get("m", cache_size=2) is small
+    # Kwarg order must not matter to the memoisation key.
+    a = registry.get("m", cache_size=8, max_batch_size=16)
+    b = registry.get("m", max_batch_size=16, cache_size=8)
+    assert a is b
+
+
+def test_get_memoises_unhashable_kwargs_by_identity(registry, encoder):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry.register("m", encoder)
+    telemetry = MetricsRegistry()
+    first = registry.get("m", telemetry=telemetry)
+    assert registry.get("m", telemetry=telemetry) is first
+    assert registry.get("m", telemetry=MetricsRegistry()) is not first
+
+
+def test_evict_forces_checkpoint_reread(registry, encoder, rng):
+    registry.register("m", encoder)
+    first = registry.get("m")
+    assert registry.evict("m") == 1
+    assert registry.get("m") is not first
+    assert registry.evict("nope") == 0
+
+
+def test_evict_all(registry, rng):
+    registry.register("a", GNNEncoder(4, 8, 2, rng=np.random.default_rng(1)))
+    registry.register("b", GNNEncoder(4, 8, 2, rng=np.random.default_rng(2)))
+    registry.get("a")
+    registry.get("a", cache_size=2)
+    registry.get("b")
+    assert registry.evict() == 3
+    assert registry.evict() == 0
+
+
 def test_multiple_models_served_side_by_side(registry, rng):
     a = GNNEncoder(4, 8, 2, rng=np.random.default_rng(1))
     b = GNNEncoder(4, 8, 2, rng=np.random.default_rng(2))

@@ -65,6 +65,33 @@ def test_second_pass_runs_zero_encoder_forwards(service, graphs):
     assert again.shape == (len(graphs), 8)
 
 
+def test_stats_expose_lookups_and_occupancy(service, graphs):
+    service.embed(graphs[:3])
+    cache = service.stats()["cache"]
+    assert cache["lookups"] == cache["hits"] + cache["misses"] == 3
+    assert cache["occupancy"] == cache["size"] / cache["capacity"]
+    assert 0.0 < cache["occupancy"] <= 1.0
+
+
+def test_cache_counters_are_monotonic_across_clear(encoder, graphs):
+    service = EmbeddingService(encoder, cache_size=4)
+    service.embed(graphs)          # 10 misses, evictions beyond 4 entries
+    service.embed(graphs[-4:])     # the LRU survivors: hits
+    before = service.stats()["cache"]
+    assert before["hits"] > 0
+    assert before["misses"] == len(graphs)
+    assert before["evictions"] == len(graphs) - 4
+    service.clear_cache()
+    after = service.stats()["cache"]
+    # Clearing drops entries, never history: the counters are monotonic.
+    assert after["size"] == 0 and after["occupancy"] == 0.0
+    assert (after["hits"], after["misses"], after["evictions"],
+            after["lookups"]) == (before["hits"], before["misses"],
+                                  before["evictions"], before["lookups"])
+    service.embed(graphs[:2])
+    assert service.stats()["cache"]["misses"] == before["misses"] + 2
+
+
 def test_mutating_returned_array_does_not_poison_cache(service, graphs):
     original = service.embed(graphs[:1]).copy()
     handed_out = service.embed(graphs[:1])
