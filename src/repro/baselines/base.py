@@ -91,7 +91,9 @@ class BasePretrainer(Module):
         ``<dir>/best.npz``, every ``save_every``-th to
         ``<dir>/epoch-NNNN.npz``. ``observer`` (default: the ambient
         :func:`repro.obs.current`) receives one ``epoch`` event per epoch
-        and ``pretrain/epoch``/``pretrain/batch`` spans.
+        and ``pretrain/epoch``/``pretrain/batch`` spans (with
+        ``pretrain/loss``/``pretrain/backward``/``pretrain/step``
+        children, matching the SGCL trainer's phase layout).
         """
         obs = observer if observer is not None else current()
         guard = NumericsGuard(policy=self.numerics_policy,
@@ -109,17 +111,20 @@ class BasePretrainer(Module):
                     if self.needs_pairs and batch.num_graphs < 2:
                         continue
                     with obs.span("pretrain/batch"):
-                        loss = self.step(batch)
+                        with obs.span("pretrain/loss"):
+                            loss = self.step(batch)
                         if not guard.check_loss({"loss": loss.item()}):
                             skipped_batches += 1
                             continue
                         self.optimizer.zero_grad()
-                        loss.backward()
+                        with obs.span("pretrain/backward"):
+                            loss.backward()
                         if not guard.guard_gradients(
                                 parameters, global_grad_norm(parameters)):
                             skipped_batches += 1
                             continue
-                        self.optimizer.step()
+                        with obs.span("pretrain/step"):
+                            self.optimizer.step()
                     losses.append(loss.item())
             if not losses:
                 # NaN (not 0.0) keeps an all-skipped epoch from being

@@ -19,6 +19,11 @@ Commands
     routing, failover, optional canary deploy) and report fleet telemetry.
 ``report``
     Render a JSONL run log (written via ``--log-dir``) as tables.
+``profile``
+    Op-level profile of a seeded pretrain slice: hot-path table
+    (self/cumulative time per op×span), Chrome-trace + flamegraph
+    artifacts, and a ``--compare`` perf-regression gate against the
+    committed ``BENCH_hotpath.json`` baseline.
 ``doctor``
     Validate a dataset's structural invariants and smoke-test the guarded
     training path; non-zero exit on any failure (CI gate).
@@ -363,6 +368,72 @@ def _cmd_embed(args: argparse.Namespace) -> None:
         print(json.dumps(service.stats(), indent=2))
 
 
+def _cmd_profile(args: argparse.Namespace) -> None:
+    from pathlib import Path
+
+    from .data.io import atomic_write
+    from .obs.export import write_chrome_trace, write_collapsed_stacks
+    from .obs.profile_run import profile_pretrain
+    from .obs.profiler import compare_hotpaths
+
+    observer, profiler, payload = profile_pretrain(
+        args.dataset, scale=args.scale, epochs=args.epochs,
+        batch_size=args.batch_size, seed=args.seed,
+        max_graphs=args.max_graphs, trace_events=args.trace_events)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        width = max([len("span")] + [min(len(r["span"]), 60)
+                                     for r in payload["rows"][:args.top]])
+        print(f"{'span':<{width}}  {'op':<18}{'calls':>7}{'self ms':>9}"
+              f"{'cum ms':>9}{'share':>7}")
+        for row in payload["rows"][:args.top]:
+            span = row["span"]
+            if len(span) > width:  # keep the informative tail
+                span = "…" + span[-(width - 1):]
+            print(f"{span:<{width}}  {row['op']:<18}{row['calls']:>7}"
+                  f"{row['self_s'] * 1e3:>9.2f}{row['cum_s'] * 1e3:>9.2f}"
+                  f"{row['self_share']:>7.1%}")
+        print(f"wall {payload['wall_seconds'] * 1e3:.1f}ms — "
+              f"{payload['attributed_fraction']:.1%} attributed to "
+              f"op×span rows ({payload['op_fraction']:.1%} in profiled "
+              f"ops, the rest in per-span '(other)' glue)")
+    if args.out_dir:
+        out = Path(args.out_dir)
+        with atomic_write(out / "hotpath.json") as tmp:
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                           encoding="utf-8")
+        write_chrome_trace(out / "trace.json", observer.tracer, profiler)
+        write_collapsed_stacks(out / "flamegraph.txt", profiler.records())
+        print(f"artifacts: {out}/hotpath.json, {out}/trace.json "
+              f"(load in Perfetto), {out}/flamegraph.txt "
+              f"(collapsed stacks)")
+    if args.compare:
+        try:
+            baseline = json.loads(Path(args.compare).read_text())
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"profile: cannot read baseline {args.compare}: "
+                f"{error}") from error
+        if baseline.get("config") != payload["config"]:
+            raise SystemExit(
+                f"profile: baseline {args.compare} was recorded with "
+                f"config {baseline.get('config')}, this run used "
+                f"{payload['config']} — rerun with matching flags")
+        violations = compare_hotpaths(
+            payload, baseline, share_tolerance=args.share_tolerance,
+            per_call_ratio=args.per_call_ratio)
+        if violations:
+            print(f"perf gate: {len(violations)} regression(s) vs "
+                  f"{args.compare}:")
+            for violation in violations:
+                print(f"  - {violation}")
+            raise SystemExit(1)
+        print(f"perf gate: OK vs {args.compare} "
+              f"(share tolerance ±{args.share_tolerance}, per-call "
+              f"ratio {args.per_call_ratio}x)")
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     import zipfile
     from pathlib import Path
@@ -443,6 +514,12 @@ def _cmd_serve(args: argparse.Namespace) -> None:
                   f"embeddings to {out}")
         if args.stats:
             print(json.dumps(stats, indent=2))
+        if args.metrics_textfile:
+            from .obs.export import write_prometheus_text
+
+            write_prometheus_text(args.metrics_textfile, router.telemetry)
+            print(f"metrics textfile: {args.metrics_textfile} "
+                  f"(Prometheus text format)")
     _finish_observer(observer, log_path, args)
 
 
@@ -584,8 +661,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write embeddings + labels to this .npz")
     serve.add_argument("--stats", action="store_true",
                        help="print fleet telemetry after serving")
+    serve.add_argument("--metrics-textfile", default=None,
+                       help="write router telemetry here in Prometheus "
+                            "text exposition format (node-exporter "
+                            "textfile-collector compatible)")
     _add_observability_flags(serve)
     serve.set_defaults(fn=_cmd_serve)
+
+    profile = sub.add_parser(
+        "profile", help="op-level profile of a seeded pretrain slice")
+    profile.add_argument("--dataset", default="MUTAG")
+    profile.add_argument("--scale", type=float, default=0.1)
+    profile.add_argument("--epochs", type=int, default=2)
+    profile.add_argument("--batch-size", type=int, default=32)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--max-graphs", type=int, default=64,
+                         help="graphs in the profiled slice")
+    profile.add_argument("--top", type=int, default=15,
+                         help="hot-path rows to print")
+    profile.add_argument("--trace-events", action="store_true",
+                         help="record per-op Chrome trace events (an op "
+                              "timeline track in trace.json; costs one "
+                              "dict per op call)")
+    profile.add_argument("--out-dir", default=None,
+                         help="write hotpath.json, trace.json (Perfetto) "
+                              "and flamegraph.txt (collapsed stacks) here")
+    profile.add_argument("--json", action="store_true",
+                         help="machine-readable hot-path payload on stdout")
+    profile.add_argument("--compare", default=None,
+                         help="baseline hot-path JSON (BENCH_hotpath.json); "
+                              "exit 1 on regression beyond tolerance")
+    profile.add_argument("--share-tolerance", type=float, default=0.10,
+                         help="max absolute growth of an op's self-time "
+                              "share vs baseline")
+    profile.add_argument("--per-call-ratio", type=float, default=3.0,
+                         help="max growth of an op's normalised per-call "
+                              "cost vs baseline")
+    profile.set_defaults(fn=_cmd_profile)
     return parser
 
 

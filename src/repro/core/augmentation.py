@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph import Graph
+from ..obs import current
 
 __all__ = [
     "drop_single_node",
@@ -117,11 +118,12 @@ def lipschitz_augment(graph: Graph, keep_probability: np.ndarray, rho: float,
     weight ``P`` (preferentially removing semantic-related nodes, leaving
     the non-semantic residue used as an extra negative).
     """
-    n = graph.num_nodes
-    num_drop = int(round((1.0 - rho) * n))
-    positive = phi_node_drop(graph, num_drop, 1.0 - keep_probability, rng)
-    complement = phi_node_drop(graph, num_drop, keep_probability, rng)
-    return positive, complement
+    with current().span("augment/lipschitz"):
+        n = graph.num_nodes
+        num_drop = int(round((1.0 - rho) * n))
+        positive = phi_node_drop(graph, num_drop, 1.0 - keep_probability, rng)
+        complement = phi_node_drop(graph, num_drop, keep_probability, rng)
+        return positive, complement
 
 
 # ----------------------------------------------------------------------

@@ -98,9 +98,10 @@ class LipschitzConstantGenerator(Module):
         self.encoder.eval()
         try:
             with current().span("lipschitz/generator"):
-                if self.mode == "exact":
-                    return self._exact_constants(batch)
-                return self._approx_constants(batch)
+                with current().span(f"lipschitz/{self.mode}"):
+                    if self.mode == "exact":
+                        return self._exact_constants(batch)
+                    return self._approx_constants(batch)
         finally:
             self.encoder.train(was_training)
 

@@ -148,16 +148,18 @@ class SGCLModel(Module):
     # ------------------------------------------------------------------
     def anchor_embeddings(self, batch: Batch, scores: SemanticScores) -> Tensor:
         """``z_G`` (Eq. 21): K_V-weighted sum pooling + projection."""
-        if self.config.use_semantic_readout:
-            constants = scores.constants
-            mean = segment_mean(constants, batch.node_graph, batch.num_graphs)
-            weights = constants * gather(
-                (mean + 1e-12) ** -1.0, batch.node_graph)
-            pooled = self.f_k.graph_representations(batch,
-                                                    pool_weights=weights)
-        else:  # ablation w/o SRL
-            pooled = self.f_k.graph_representations(batch)
-        return self.projection(pooled)
+        with current().span("model/anchor_embed"):
+            if self.config.use_semantic_readout:
+                constants = scores.constants
+                mean = segment_mean(constants, batch.node_graph,
+                                    batch.num_graphs)
+                weights = constants * gather(
+                    (mean + 1e-12) ** -1.0, batch.node_graph)
+                pooled = self.f_k.graph_representations(batch,
+                                                        pool_weights=weights)
+            else:  # ablation w/o SRL
+                pooled = self.f_k.graph_representations(batch)
+            return self.projection(pooled)
 
     def view_embeddings(self, views: list[Graph],
                         soft_weights: Tensor | None = None) -> Tensor:
@@ -167,10 +169,11 @@ class SGCLModel(Module):
         the straight-through relaxation that lets gradient reach the
         probability head — see DESIGN.md §5.
         """
-        view_batch = Batch(views)
-        pooled = self.f_k.graph_representations(view_batch,
-                                                node_weight=soft_weights)
-        return self.projection(pooled)
+        with current().span("model/view_embed"):
+            view_batch = Batch(views)
+            pooled = self.f_k.graph_representations(view_batch,
+                                                    node_weight=soft_weights)
+            return self.projection(pooled)
 
     # ------------------------------------------------------------------
     def _soft_view_weights(self, batch: Batch, views: list[Graph],

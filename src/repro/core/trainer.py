@@ -141,7 +141,11 @@ class SGCLTrainer:
         ``observer`` overrides the ambient :func:`repro.obs.current`
         observer; each epoch row is also emitted as an ``epoch`` event and
         the loop is wrapped in ``pretrain/epoch`` / ``pretrain/batch``
-        spans. With no observer active all of this is a no-op.
+        spans, with ``pretrain/loss`` / ``pretrain/backward`` /
+        ``pretrain/step`` children splitting each batch into its forward,
+        backward and optimiser phases (the granularity ``repro profile``
+        attributes op time to). With no observer active all of this is a
+        no-op.
         """
         epochs = epochs if epochs is not None else self.config.epochs
         obs = observer if observer is not None else current()
@@ -170,20 +174,23 @@ class SGCLTrainer:
                     if batch.num_graphs < 2:
                         continue
                     with obs.span("pretrain/batch"):
-                        loss, stats = self.model.loss(batch,
-                                                      self._augment_rng)
+                        with obs.span("pretrain/loss"):
+                            loss, stats = self.model.loss(batch,
+                                                          self._augment_rng)
                         if not guard.check_loss(stats):
                             skipped_batches += 1
                             continue
                         self.optimizer.zero_grad()
-                        loss.backward()
+                        with obs.span("pretrain/backward"):
+                            loss.backward()
                         grad_norm = global_grad_norm(parameters)
                         if not guard.guard_gradients(parameters, grad_norm):
                             skipped_batches += 1
                             continue
                         if obs.enabled:
                             stats["grad_norm"] = grad_norm
-                        self.optimizer.step()
+                        with obs.span("pretrain/step"):
+                            self.optimizer.step()
                     num_batches += 1
                     for key, value in stats.items():
                         epoch_stats.setdefault(key, []).append(value)

@@ -232,6 +232,8 @@ class ProcessReplica:
                     "resilience": {"shed": 0, "timeouts": 0,
                                    "encoder_failures": 0},
                 },
+                "service_telemetry": {"counters": {}, "gauges": {},
+                                      "series": {}, "samples": {}},
             }
         stats = self._request("stats")
         stats["backend"] = self.backend

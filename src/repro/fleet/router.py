@@ -286,6 +286,11 @@ class FleetRouter:
         under hash routing ``size`` counts *distinct* digests fleet-wide
         (each digest lives on one shard), which is exactly why the
         fleet-wide ``hit_rate`` beats N independent caches.
+
+        ``latency`` is the router's own ``route_seconds`` view;
+        ``service_latency`` merges every replica's raw ``embed_seconds``
+        samples (:meth:`MetricsRegistry.merge`) into genuine fleet-wide
+        percentiles, including p99.
         """
         per_worker = [w.stats() for w in self.workers]
         hits = sum(w["service"]["cache"]["hits"] for w in per_worker)
@@ -294,6 +299,14 @@ class FleetRouter:
         size = sum(w["service"]["cache"]["size"] for w in per_worker)
         capacity = sum(w["service"]["cache"]["capacity"] for w in per_worker)
         latency = self.telemetry.summary("route_seconds")
+        # True fleet-wide service latency: merge every replica's raw
+        # telemetry samples into one registry, so p50/p99 are percentiles
+        # over the union of observations — percentiles of per-worker
+        # summaries would be wrong whenever load (or speed) is skewed.
+        merged = MetricsRegistry()
+        for w in per_worker:
+            merged.merge(w.get("service_telemetry", {}))
+        service = merged.summary("embed_seconds")
         return {
             "policy": self.policy,
             "workers": len(self._workers),
@@ -318,6 +331,13 @@ class FleetRouter:
                 "mean_ms": latency["mean"] * 1e3,
                 "p50_ms": latency["p50"] * 1e3,
                 "p95_ms": latency["p95"] * 1e3,
+            },
+            "service_latency": {
+                "requests": service["count"],
+                "mean_ms": service["mean"] * 1e3,
+                "p50_ms": service["p50"] * 1e3,
+                "p95_ms": service["p95"] * 1e3,
+                "p99_ms": merged.percentile("embed_seconds", 99) * 1e3,
             },
             "per_worker": per_worker,
         }

@@ -214,6 +214,16 @@ class FleetWorker:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Replica health + the underlying service's cache/latency stats."""
+        # Raw-sample snapshot of the stable service's telemetry — a plain
+        # dict, so it survives the process-replica pipe and the router can
+        # merge true fleet-wide latency percentiles instead of averaging
+        # per-worker summaries. Stub services without telemetry report an
+        # empty snapshot.
+        telemetry = getattr(self.stable.service, "telemetry", None)
+        service_telemetry = (telemetry.snapshot(samples=True)
+                             if telemetry is not None
+                             else {"counters": {}, "gauges": {},
+                                   "series": {}, "samples": {}})
         payload = {
             "worker_id": self.worker_id,
             "backend": self.backend,
@@ -226,6 +236,7 @@ class FleetWorker:
             "canary_fallbacks": int(self.telemetry.count("canary_fallbacks")),
             "breaker": self.breaker.stats(),
             "service": self.stable.service.stats(),
+            "service_telemetry": service_telemetry,
         }
         if self.canary is not None:
             payload["canary_service"] = self.canary.service.stats()

@@ -55,3 +55,25 @@ def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
 def cosine_similarity_matrix(a: Tensor, b: Tensor) -> Tensor:
     """Pairwise cosine similarity between rows of ``a`` and rows of ``b``."""
     return l2_normalize(a) @ l2_normalize(b).T
+
+
+# ----------------------------------------------------------------------
+# Profiler op table (consumed by repro.obs.profiler)
+# ----------------------------------------------------------------------
+def _flops_per_input(args, kwargs, out) -> float:
+    """A handful of elementwise passes over the first argument."""
+    x = args[0]
+    size = x.data.size if isinstance(x, Tensor) else np.size(x)
+    return float(size)
+
+
+#: Loss/functional ops profiled by :class:`repro.obs.profiler.OpProfiler`.
+#: All of these are compositions of Tensor primitives, so their self time
+#: is Python glue; the heavy lifting shows up under the primitives.
+PROFILED_OPS = [
+    ("cross_entropy", "cross_entropy", _flops_per_input),
+    ("binary_cross_entropy_with_logits", "bce_with_logits", _flops_per_input),
+    ("mse_loss", "mse_loss", _flops_per_input),
+    ("l2_normalize", "l2_normalize", _flops_per_input),
+    ("cosine_similarity_matrix", "cosine_similarity", _flops_per_input),
+]

@@ -1,0 +1,197 @@
+"""Exporters: Chrome trace JSON, collapsed-stack flamegraphs, Prometheus.
+
+Three interchange formats for the observability substrates:
+
+* :func:`chrome_trace` — the Trace Event Format consumed by
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_. Tracer
+  spans become complete (``"ph": "X"``) events; an :class:`OpProfiler`
+  with ``trace_events=True`` contributes an op-level timeline on a second
+  track.
+* :func:`collapsed_stacks` — Brendan Gregg's collapsed-stack text format
+  (``path;to;frame value``), consumed by ``flamegraph.pl``, speedscope
+  and most flamegraph viewers. Values are integer microseconds of *self*
+  time, so the flame widths sum correctly.
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4) for any :class:`~repro.obs.metrics.MetricsRegistry`
+  snapshot; served from a textfile by ``repro serve
+  --metrics-textfile`` for node-exporter-style scraping.
+
+All three are pure functions from in-memory state to ``str``/``dict``;
+the ``write_*`` helpers add atomic file output.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from ..data.io import atomic_write
+
+__all__ = ["chrome_trace", "collapsed_stacks", "prometheus_text",
+           "write_chrome_trace", "write_collapsed_stacks",
+           "write_prometheus_text"]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace event format
+# ----------------------------------------------------------------------
+def _span_events(span, t0: float, events: list, pid: int, tid: int) -> None:
+    events.append({
+        "name": span.name,
+        "ph": "X",
+        "ts": round((span.start - t0) * 1e6, 3),
+        "dur": round(span.duration * 1e6, 3),
+        "pid": pid,
+        "tid": tid,
+        "cat": "span",
+        "args": ({"error": span.error} if span.error is not None else {}),
+    })
+    for child in span.children:
+        _span_events(child, t0, events, pid, tid)
+
+
+def chrome_trace(tracer=None, profiler=None, *, pid: int = 1) -> dict:
+    """Tracer spans (+ optional profiler op events) as a Chrome trace dict.
+
+    Spans render on thread 1 (``spans``), profiler op events on thread 2
+    (``ops``) — load the JSON in Perfetto and the op timeline lines up
+    under the span timeline. Timestamps are microseconds relative to the
+    earliest event, as the format expects.
+    """
+    events: list[dict] = []
+    starts = []
+    if tracer is not None and getattr(tracer, "roots", None):
+        starts.extend(span.start for span in tracer.roots)
+    if profiler is not None and profiler.events:
+        starts.append(min(e["ts"] for e in profiler.events))
+    t0 = min(starts) if starts else 0.0
+
+    if tracer is not None and getattr(tracer, "roots", None):
+        for root in tracer.roots:
+            _span_events(root, t0, events, pid, tid=1)
+    if profiler is not None:
+        for event in profiler.events:
+            events.append({
+                "name": event["name"],
+                "ph": "X",
+                "ts": round((event["ts"] - t0) * 1e6, 3),
+                "dur": round(event["dur"] * 1e6, 3),
+                "pid": pid,
+                "tid": 2,
+                "cat": "op",
+                "args": {"span": event["span"]},
+            })
+    metadata = [
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": 1,
+         "args": {"name": "spans"}},
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": 2,
+         "args": {"name": "ops"}},
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, tracer=None, profiler=None) -> Path:
+    path = Path(path)
+    with atomic_write(path) as tmp:
+        tmp.write_text(json.dumps(chrome_trace(tracer, profiler)),
+                       encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Collapsed-stack flamegraph text
+# ----------------------------------------------------------------------
+def collapsed_stacks(records) -> str:
+    """Profiler records as collapsed-stack lines (self-time microseconds).
+
+    Each record's stack is its span path with the op name as the leaf
+    frame: ``profile/run;pretrain/batch;segment_sum 1234``. Lines with a
+    zero-microsecond value are dropped (flamegraph.pl rejects them).
+    Records sharing a stack are merged.
+    """
+    weights: dict[str, int] = {}
+    for record in records:
+        frames = list(record.span_path) + [record.op]
+        stack = ";".join(frames) if frames else record.op
+        micros = int(round(record.self_s * 1e6))
+        if micros <= 0:
+            continue
+        weights[stack] = weights.get(stack, 0) + micros
+    return "\n".join(f"{stack} {value}"
+                     for stack, value in sorted(weights.items())) + "\n" \
+        if weights else ""
+
+
+def write_collapsed_stacks(path: str | Path, records) -> Path:
+    path = Path(path)
+    with atomic_write(path) as tmp:
+        tmp.write_text(collapsed_stacks(records), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4)
+# ----------------------------------------------------------------------
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """Sanitise a registry key into a legal Prometheus metric name."""
+    sanitised = _INVALID_METRIC_CHARS.sub("_", name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return f"{prefix}{sanitised}" if prefix else sanitised
+
+
+def _finite(value: float) -> bool:
+    return value == value and value not in (float("inf"), float("-inf"))
+
+
+def prometheus_text(registry, *, prefix: str = "repro_") -> str:
+    """A metrics registry (or snapshot dict) in Prometheus text format.
+
+    Counters become ``counter`` metrics (``_total`` suffix), gauges become
+    ``gauge`` metrics, and each histogram series is exposed as a summary:
+    ``<name>{quantile="0.5|0.95"}``, ``<name>_count`` and a ``_max``
+    gauge. Metric names are sanitised (``/`` and other illegal characters
+    become ``_``) and prefixed with ``prefix``.
+    """
+    snapshot = registry if isinstance(registry, dict) \
+        else registry.snapshot()
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        metric = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        if not _finite(value):
+            continue
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name in sorted(snapshot.get("series", {})):
+        summary = snapshot["series"][name]
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        if summary.get("count", 0):
+            if _finite(summary.get("p50", float("nan"))):
+                lines.append(f'{metric}{{quantile="0.5"}} {summary["p50"]}')
+            if _finite(summary.get("p95", float("nan"))):
+                lines.append(f'{metric}{{quantile="0.95"}} {summary["p95"]}')
+        lines.append(f"{metric}_count {summary.get('count', 0)}")
+        if _finite(summary.get("max", float("nan"))):
+            lines.append(f"# TYPE {metric}_max gauge")
+            lines.append(f"{metric}_max {summary['max']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus_text(path: str | Path, registry, *,
+                          prefix: str = "repro_") -> Path:
+    path = Path(path)
+    with atomic_write(path) as tmp:
+        tmp.write_text(prometheus_text(registry, prefix=prefix),
+                       encoding="utf-8")
+    return path

@@ -105,13 +105,52 @@ class MetricsRegistry:
         }
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
-        """All counters and gauges plus a summary of every series."""
-        return {
+    def snapshot(self, *, samples: bool = False) -> dict:
+        """All counters and gauges plus a summary of every series.
+
+        With ``samples=True`` the snapshot additionally carries every
+        series' raw reservoir under ``"samples"`` — the form a remote
+        process (e.g. a :class:`~repro.fleet.ProcessReplica`) ships over
+        a pipe so the parent can :meth:`merge` true fleet-wide
+        percentiles instead of averaging per-worker summaries.
+        """
+        payload = {
             "counters": dict(self._counters),
             "gauges": dict(self._gauges),
             "series": {name: self.summary(name) for name in self._series},
         }
+        if samples:
+            payload["samples"] = {name: list(series)
+                                  for name, series in self._series.items()}
+        return payload
+
+    def merge(self, other: "MetricsRegistry | dict") -> "MetricsRegistry":
+        """Fold another registry (or a ``samples=True`` snapshot) into this
+        one; returns ``self`` for chaining.
+
+        Counters add, gauges last-write-wins (the merged-in value
+        overwrites), and histogram series concatenate their raw samples —
+        so a percentile of the merged registry equals the percentile of
+        recording every observation into one registry (up to the shared
+        reservoir bound ``max_samples``). A plain :meth:`snapshot` dict
+        without ``"samples"`` merges its counters/gauges only.
+        """
+        if isinstance(other, MetricsRegistry):
+            counters = other._counters
+            gauges = other._gauges
+            samples = {name: series for name, series in other._series.items()}
+        else:
+            counters = other.get("counters", {})
+            gauges = other.get("gauges", {})
+            samples = other.get("samples", {})
+        for name, value in counters.items():
+            self.increment(name, value)
+        for name, value in gauges.items():
+            self.set_gauge(name, value)
+        for name, series in samples.items():
+            for value in series:
+                self.observe(name, value)
+        return self
 
     def reset(self) -> None:
         self._counters.clear()

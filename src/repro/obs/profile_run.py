@@ -1,0 +1,72 @@
+"""A seeded SGCL pretrain slice under the op profiler.
+
+Shared by the ``repro profile`` CLI command and
+``benchmarks/bench_hotpath.py`` so the committed baseline
+(``BENCH_hotpath.json``) and the CLI's ``--compare`` gate measure the
+exact same workload: same dataset slice, same config, same seeds — which
+is what makes the profile's op *call counts* deterministic and therefore
+comparable across machines.
+
+Core imports happen inside the function: ``repro.core`` imports
+``repro.obs`` at module level, so the reverse edge must stay lazy.
+"""
+
+from __future__ import annotations
+
+import gc
+
+from .observer import Observer
+from .profiler import OpProfiler, hotpath_table
+
+__all__ = ["profile_pretrain"]
+
+
+def profile_pretrain(dataset_name: str = "MUTAG", *, scale: float = 0.1,
+                     epochs: int = 2, batch_size: int = 32, seed: int = 0,
+                     max_graphs: int | None = 64,
+                     trace_events: bool = False):
+    """Pre-train SGCL on a dataset slice under the profiler.
+
+    Returns ``(observer, profiler, payload)``: the observer (its tracer
+    holds the span tree, for Chrome-trace export), the deactivated
+    profiler (its records back the flamegraph), and the hot-path payload —
+    :func:`~repro.obs.profiler.hotpath_table` output plus a ``config``
+    block identifying the workload. Dataset loading and model
+    construction happen *before* profiling starts; only the training loop
+    (wrapped in a ``profile/run`` root span) is measured.
+    """
+    from ..core import SGCLConfig, SGCLTrainer
+    from ..data import load_dataset
+
+    dataset = load_dataset(dataset_name, seed=0, scale=scale)
+    graphs = dataset.graphs[:max_graphs] if max_graphs else dataset.graphs
+    trainer = SGCLTrainer(
+        dataset.num_features,
+        SGCLConfig(epochs=epochs, batch_size=batch_size, seed=seed))
+    observer = Observer()
+    profiler = OpProfiler(observer, trace_events=trace_events)
+    # Collect accumulated garbage up front and keep the collector off for
+    # the measured region: a generational collection pausing mid-op charges
+    # tens of milliseconds to whichever tensor op it lands in, which is the
+    # single largest noise source for the share-based regression gate.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        with observer.activate(), profiler:
+            with observer.span("profile/run"):
+                trainer.pretrain(graphs, observer=observer)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    payload = hotpath_table(profiler.records(),
+                            wall_seconds=profiler.wall_seconds)
+    payload["config"] = {
+        "dataset": dataset_name,
+        "scale": scale,
+        "epochs": epochs,
+        "batch_size": batch_size,
+        "seed": seed,
+        "max_graphs": max_graphs,
+    }
+    return observer, profiler, payload

@@ -1,0 +1,467 @@
+"""Op-level instrumenting profiler with span attribution.
+
+:class:`OpProfiler` measures where a run's wall time goes at the
+granularity of individual tensor operations (``matmul``, ``segment_sum``,
+``backward``, …) and attributes each sample to the innermost open tracer
+span (``pretrain/batch``, ``lipschitz/generator``, …). The result is a
+table of ``(span path, op)`` records carrying call counts, self/cumulative
+wall seconds, output bytes and forward-flop estimates — the raw material
+for hot-path tables, Chrome traces and flamegraphs (see
+:mod:`repro.obs.export` and the ``repro profile`` CLI command).
+
+Zero overhead when off
+----------------------
+The profiler works by *monkey-patching*: :meth:`OpProfiler.activate`
+replaces the methods/functions named in each instrumented module's
+``PROFILED_OPS`` table with timing wrappers, and :meth:`deactivate`
+restores the originals. While no profiler is active the instrumented code
+paths are byte-for-byte the original functions — importing this module or
+constructing an (inactive) profiler costs nothing per op, and seeded
+histories are bit-identical to an interpreter that never heard of
+profiling. This is stronger than the usual "an if-check per op" guarantee
+and is regression-tested in ``tests/obs/test_profiler.py``.
+
+Patching rules
+--------------
+* ``Tensor.<method>`` targets are patched on the class. Dunder dispatch
+  goes through the type, so every call site — including operator syntax
+  ``a @ b`` — sees the wrapper.
+* Module-level function targets (``segment_sum``, ``cross_entropy``, …)
+  are patched in their defining module **and** in every already-imported
+  ``repro.*`` module holding a reference to the same function object
+  (consumers use ``from .segment import segment_sum``). Intra-module
+  composites (``segment_softmax`` calling ``gather``) therefore hit the
+  wrapped primitives too, which is what makes self-time accounting work.
+
+Self vs cumulative time
+-----------------------
+Ops nest (``segment_mean`` calls ``segment_sum``; ``cross_entropy`` calls
+``log_softmax``). The profiler keeps an op stack: a sample's *cumulative*
+time is its full elapsed wall time; its *self* time subtracts the
+cumulative time of the ops it called. Summing self time over all records
+therefore never double-counts.
+
+Span attribution
+----------------
+Each sample is keyed by the path of open tracer spans at call time (e.g.
+``("profile/run", "pretrain/batch", "lipschitz/generator")``). Time inside
+a span but outside any profiled op (Python glue, numpy calls not routed
+through an op) is reported per span as a pseudo-op named ``(other)`` so
+the hot-path table accounts for (approximately) all wall time of the
+profiled region, not just the op subset.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["OpProfiler", "OpRecord", "hotpath_table", "compare_hotpaths",
+           "INSTRUMENTED_MODULES"]
+
+#: Modules whose ``PROFILED_OPS`` tables the profiler consumes by default.
+INSTRUMENTED_MODULES = (
+    "repro.tensor.tensor",
+    "repro.tensor.segment",
+    "repro.nn.functional",
+)
+
+
+class OpRecord:
+    """Accumulated statistics for one ``(span path, op)`` pair."""
+
+    __slots__ = ("span_path", "op", "calls", "self_s", "cum_s",
+                 "bytes_out", "flops")
+
+    def __init__(self, span_path: tuple, op: str):
+        self.span_path = span_path
+        self.op = op
+        self.calls = 0
+        self.self_s = 0.0
+        self.cum_s = 0.0
+        self.bytes_out = 0
+        self.flops = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "span": "/".join(self.span_path) if self.span_path else "(root)",
+            "op": self.op,
+            "calls": self.calls,
+            "self_s": round(self.self_s, 6),
+            "cum_s": round(self.cum_s, 6),
+            "bytes_out": self.bytes_out,
+            "flops": self.flops,
+        }
+
+
+def _bytes_of(value) -> int:
+    """Output payload size in bytes; 0 for non-array results."""
+    data = getattr(value, "data", None)
+    if isinstance(data, np.ndarray):
+        return data.nbytes
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    return 0
+
+
+class OpProfiler:
+    """Instrumenting op profiler riding the ambient observer's tracer.
+
+    Parameters
+    ----------
+    observer:
+        The observer whose tracer provides span context for attribution.
+        When ``None``, samples are attributed to the root path only.
+    modules:
+        Dotted names of modules exposing ``PROFILED_OPS`` tables
+        (defaults to :data:`INSTRUMENTED_MODULES`).
+    trace_events:
+        When true, every op call is also recorded as a Chrome trace event
+        (begin/end timestamps), enabling :func:`repro.obs.export.chrome_trace`
+        to render an op-level timeline. Costs one small dict per call;
+        leave off for pure accounting.
+    clock:
+        Monotonic time source (injectable for tests).
+
+    Use as a context manager::
+
+        profiler = OpProfiler(observer)
+        with observer.activate(), profiler:
+            trainer.pretrain(graphs)
+        table = hotpath_table(profiler.records())
+    """
+
+    def __init__(self, observer=None, *,
+                 modules: tuple = INSTRUMENTED_MODULES,
+                 trace_events: bool = False,
+                 clock=time.perf_counter):
+        self._observer = observer
+        self._module_names = modules
+        self._trace_events = trace_events
+        self._clock = clock
+        self.active = False
+        # (module_or_class, attr_name, original) triples for restore.
+        self._patched: list[tuple] = []
+        # Op stack frames: [child_cum_seconds_accumulator].
+        self._op_stack: list[list] = []
+        self._records: dict[tuple, OpRecord] = {}
+        self.events: list[dict] = []
+        # Wall-time bounds of the profiled region (set by activate/deactivate).
+        self._t_start: float | None = None
+        self.wall_seconds = 0.0
+        # Span-path cache: id(top span) -> path tuple. Spans are append-only
+        # while open, so identity of the stack top determines the path.
+        self._path_cache: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Patching
+    # ------------------------------------------------------------------
+    def activate(self) -> "OpProfiler":
+        """Install timing wrappers for every declared op; idempotent."""
+        if self.active:
+            return self
+        for module_name in self._module_names:
+            module = importlib.import_module(module_name)
+            for target, label, flops_fn in getattr(module, "PROFILED_OPS", []):
+                if target.startswith("Tensor."):
+                    cls = module.Tensor
+                    attr = target.split(".", 1)[1]
+                    original = cls.__dict__[attr]
+                    wrapper = self._wrap(original, label, flops_fn)
+                    setattr(cls, attr, wrapper)
+                    self._patched.append((cls, attr, original))
+                else:
+                    original = getattr(module, target)
+                    wrapper = self._wrap(original, label, flops_fn)
+                    for holder, attr in _reference_sites(original, target,
+                                                         module):
+                        setattr(holder, attr, wrapper)
+                        self._patched.append((holder, attr, original))
+        self.active = True
+        self._t_start = self._clock()
+        return self
+
+    def deactivate(self) -> "OpProfiler":
+        """Restore every patched attribute to its original; idempotent."""
+        if not self.active:
+            return self
+        self.wall_seconds += self._clock() - self._t_start
+        self._t_start = None
+        for holder, attr, original in reversed(self._patched):
+            setattr(holder, attr, original)
+        self._patched.clear()
+        self.active = False
+        self._record_metrics()
+        return self
+
+    def __enter__(self) -> "OpProfiler":
+        return self.activate()
+
+    def __exit__(self, *exc) -> None:
+        self.deactivate()
+
+    # ------------------------------------------------------------------
+    # The timing wrapper
+    # ------------------------------------------------------------------
+    def _wrap(self, fn, label: str, flops_fn):
+        clock = self._clock
+        op_stack = self._op_stack
+        records = self._records
+        events = self.events if self._trace_events else None
+        span_path = self._span_path
+
+        def wrapper(*args, **kwargs):
+            frame = [0.0]
+            op_stack.append(frame)
+            t0 = clock()
+            try:
+                result = fn(*args, **kwargs)
+            finally:
+                elapsed = clock() - t0
+                op_stack.pop()
+                if op_stack:
+                    op_stack[-1][0] += elapsed
+            path = span_path()
+            key = (path, label)
+            record = records.get(key)
+            if record is None:
+                record = records[key] = OpRecord(path, label)
+            record.calls += 1
+            record.cum_s += elapsed
+            record.self_s += elapsed - frame[0]
+            record.bytes_out += _bytes_of(result)
+            if flops_fn is not None:
+                try:
+                    record.flops += flops_fn(args, kwargs, result)
+                except Exception:
+                    pass  # an estimator must never break the op
+            if events is not None:
+                events.append({"name": label, "ts": t0, "dur": elapsed,
+                               "span": "/".join(path) if path else "(root)"})
+            return result
+
+        wrapper.__name__ = getattr(fn, "__name__", label)
+        wrapper.__qualname__ = getattr(fn, "__qualname__", label)
+        wrapper.__doc__ = getattr(fn, "__doc__", None)
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    def _span_path(self) -> tuple:
+        """Names of the currently open tracer spans, outermost first."""
+        observer = self._observer
+        if observer is None:
+            return ()
+        stack = getattr(observer.tracer, "_stack", None)
+        if not stack:
+            return ()
+        top_id = id(stack[-1])
+        path = self._path_cache.get(top_id)
+        if path is None:
+            path = tuple(span.name for span in stack)
+            self._path_cache[top_id] = path
+        return path
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def records(self) -> list[OpRecord]:
+        """All accumulated op records, plus per-span ``(other)`` residuals.
+
+        The residual rows charge each *completed* span's self time not
+        covered by op self time to a pseudo-op named ``(other)`` — Python
+        glue, data loading, numpy work outside the op layer. With them the
+        table accounts for (approximately) the whole wall time of the
+        profiled region.
+        """
+        rows = list(self._records.values())
+        rows.extend(self._residuals())
+        return rows
+
+    def _residuals(self) -> list[OpRecord]:
+        observer = self._observer
+        if observer is None or not getattr(observer.tracer, "roots", None):
+            return []
+        # Op self seconds charged to each exact span path.
+        op_self: dict[tuple, float] = {}
+        for record in self._records.values():
+            op_self[record.span_path] = (op_self.get(record.span_path, 0.0)
+                                         + record.self_s)
+        residuals = []
+        walk = [(root, ()) for root in observer.tracer.roots]
+        while walk:
+            span, prefix = walk.pop()
+            path = prefix + (span.name,)
+            if span.end is not None:
+                leftover = span.self_seconds - op_self.get(path, 0.0)
+                if leftover > 0.0:
+                    record = OpRecord(path, "(other)")
+                    record.calls = 1
+                    record.self_s = leftover
+                    record.cum_s = leftover
+                    residuals.append(record)
+            walk.extend((child, path) for child in span.children)
+        return residuals
+
+    def _record_metrics(self) -> None:
+        """Publish totals into the observer's metrics under ``prof/*``."""
+        observer = self._observer
+        if observer is None or getattr(observer, "metrics", None) is None:
+            return
+        total_self = 0.0
+        total_calls = 0
+        for record in self._records.values():
+            observer.increment(f"prof/op/{record.op}/calls", record.calls)
+            observer.increment(f"prof/op/{record.op}/self_s", record.self_s)
+            total_self += record.self_s
+            total_calls += record.calls
+        observer.set_gauge("prof/wall_seconds", self.wall_seconds)
+        observer.set_gauge("prof/op_self_seconds", total_self)
+        observer.set_gauge("prof/op_calls", total_calls)
+
+    def reset(self) -> None:
+        self._records.clear()
+        self.events.clear()
+        self._path_cache.clear()
+        self.wall_seconds = 0.0
+
+
+def _reference_sites(original, name: str, defining_module):
+    """Every ``(module, attr)`` holding a reference to ``original``.
+
+    Consumers import op functions by value (``from .segment import
+    segment_sum``), so patching only the defining module would miss them.
+    Scans already-imported ``repro.*`` modules for attributes that *are*
+    the original function object.
+    """
+    sites = [(defining_module, name)]
+    for mod_name, module in list(sys.modules.items()):
+        if module is None or module is defining_module:
+            continue
+        if not (mod_name == "repro" or mod_name.startswith("repro.")):
+            continue
+        if getattr(module, name, None) is original:
+            sites.append((module, name))
+    return sites
+
+
+# ----------------------------------------------------------------------
+# Hot-path table + regression gate
+# ----------------------------------------------------------------------
+def hotpath_table(records: list[OpRecord], *, wall_seconds: float | None = None,
+                  top: int | None = None) -> dict:
+    """Aggregate records into the canonical hot-path payload.
+
+    Returns a dict with:
+
+    * ``rows`` — one entry per ``(span, op)`` sorted by self seconds
+      descending (truncated to ``top`` when given), each carrying
+      ``span``, ``op``, ``calls``, ``self_s``, ``cum_s``, ``self_share``
+      (fraction of summed self time), ``bytes_out``, ``flops``;
+    * ``by_op`` — per-op totals across spans (``calls`` / ``self_s``);
+    * ``total_self_s``, ``wall_seconds``, ``attributed_fraction`` (how
+      much of wall time the table explains — includes ``(other)`` rows),
+      ``op_fraction`` (profiled ops only, excluding ``(other)``).
+    """
+    total_self = sum(r.self_s for r in records)
+    op_self = sum(r.self_s for r in records if r.op != "(other)")
+    by_op: dict[str, dict] = {}
+    for record in records:
+        entry = by_op.setdefault(record.op, {"calls": 0, "self_s": 0.0})
+        entry["calls"] += record.calls
+        entry["self_s"] += record.self_s
+    for entry in by_op.values():
+        entry["self_s"] = round(entry["self_s"], 6)
+        entry["self_share"] = round(entry["self_s"] / total_self, 4) \
+            if total_self > 0 else 0.0
+    rows = sorted(records, key=lambda r: r.self_s, reverse=True)
+    if top is not None:
+        rows = rows[:top]
+    row_dicts = []
+    for record in rows:
+        row = record.to_dict()
+        row["self_share"] = round(record.self_s / total_self, 4) \
+            if total_self > 0 else 0.0
+        row_dicts.append(row)
+    payload = {
+        "rows": row_dicts,
+        "by_op": by_op,
+        "total_self_s": round(total_self, 6),
+    }
+    if wall_seconds is not None:
+        payload["wall_seconds"] = round(wall_seconds, 6)
+        payload["attributed_fraction"] = round(total_self / wall_seconds, 4) \
+            if wall_seconds > 0 else 0.0
+        payload["op_fraction"] = round(op_self / wall_seconds, 4) \
+            if wall_seconds > 0 else 0.0
+    return payload
+
+
+def compare_hotpaths(current: dict, baseline: dict, *,
+                     calls_tolerance: float = 0.0,
+                     share_tolerance: float = 0.10,
+                     per_call_ratio: float = 3.0,
+                     min_self_s: float = 1e-4) -> list[str]:
+    """Regression gate: compare a hot-path payload against a baseline.
+
+    Returns a list of human-readable violations (empty = pass). Designed
+    to be robust to machine noise — absolute times are never compared
+    across machines; instead:
+
+    * **call counts** are deterministic for a seeded run, so any drift
+      beyond ``calls_tolerance`` (relative) on an op present in both is a
+      violation — it means the computation graph itself changed;
+    * **self_share** (an op's fraction of total self time) must stay
+      within ``share_tolerance`` (absolute) — a ratio, so machine speed
+      cancels;
+    * **self_per_call** may grow at most ``per_call_ratio``× relative to
+      the baseline's per-call cost normalised by total runtime — catches
+      an op becoming asymptotically worse without tripping on noise.
+
+    Ops with baseline self time under ``min_self_s`` are skipped for the
+    share/per-call checks (timer noise dominates them).
+    """
+    violations: list[str] = []
+    cur_ops = current.get("by_op", {})
+    base_ops = baseline.get("by_op", {})
+    cur_total = max(current.get("total_self_s", 0.0), 1e-12)
+    base_total = max(baseline.get("total_self_s", 0.0), 1e-12)
+    for op, base in base_ops.items():
+        cur = cur_ops.get(op)
+        if cur is None:
+            if base.get("calls", 0) > 0 and op != "(other)":
+                violations.append(f"op '{op}' vanished "
+                                  f"(baseline calls={base['calls']})")
+            continue
+        if op == "(other)":
+            continue  # glue-time rows are noise-dominated by design
+        base_calls, cur_calls = base.get("calls", 0), cur.get("calls", 0)
+        if base_calls > 0:
+            drift = abs(cur_calls - base_calls) / base_calls
+            if drift > calls_tolerance:
+                violations.append(
+                    f"op '{op}' call count changed: "
+                    f"{base_calls} -> {cur_calls} "
+                    f"(drift {drift:.1%} > {calls_tolerance:.1%})")
+        if base.get("self_s", 0.0) < min_self_s:
+            continue
+        base_share = base.get("self_share",
+                              base.get("self_s", 0.0) / base_total)
+        cur_share = cur.get("self_share", cur.get("self_s", 0.0) / cur_total)
+        if cur_share - base_share > share_tolerance:
+            violations.append(
+                f"op '{op}' self-time share grew: "
+                f"{base_share:.3f} -> {cur_share:.3f} "
+                f"(+{cur_share - base_share:.3f} > {share_tolerance})")
+        if base_calls > 0 and cur_calls > 0:
+            # Normalise per-call cost by each run's total, so a uniformly
+            # slower machine cancels out.
+            base_pc = (base["self_s"] / base_calls) / base_total
+            cur_pc = (cur["self_s"] / cur_calls) / cur_total
+            if base_pc > 0 and cur_pc / base_pc > per_call_ratio:
+                violations.append(
+                    f"op '{op}' normalised per-call cost grew "
+                    f"{cur_pc / base_pc:.1f}x (> {per_call_ratio}x)")
+    return violations

@@ -72,6 +72,15 @@ class JSONLSink(Sink):
     is diff-stable), written in one call and flushed immediately. The file
     is opened in append mode, so several runs may share one log and a
     crash can never truncate previously written events.
+
+    Interrupt safety: the serialised line is written with a *single*
+    ``write`` call, so a SIGINT delivered mid-emit (Python raises
+    ``KeyboardInterrupt`` between bytecodes, never inside one C-level
+    write) can only land before the line or after it — a killed run's log
+    is always valid line-delimited JSON. The sink is also a context
+    manager; ``with JSONLSink(path) as sink: ...`` flushes and closes on
+    the way out even when the body raises, which is what keeps trace logs
+    intact under :func:`repro.resilience.interrupt_guard`.
     """
 
     def __init__(self, path: str | Path):
@@ -84,9 +93,25 @@ class JSONLSink(Sink):
         self._file.write(line + "\n")
         self._file.flush()
 
+    def flush(self) -> None:
+        """Force buffered bytes to disk (emit already flushes per line)."""
+        if not self._file.closed:
+            self._file.flush()
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
     def close(self) -> None:
         if not self._file.closed:
+            self._file.flush()
             self._file.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ConsoleSink(Sink):

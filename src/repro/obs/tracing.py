@@ -29,13 +29,14 @@ __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER",
 class Span:
     """One timed region: name, start/end timestamps and child spans."""
 
-    __slots__ = ("name", "start", "end", "children")
+    __slots__ = ("name", "start", "end", "children", "error")
 
     def __init__(self, name: str, start: float):
         self.name = name
         self.start = start
         self.end: float | None = None
         self.children: list["Span"] = []
+        self.error: str | None = None
 
     @property
     def duration(self) -> float:
@@ -44,17 +45,31 @@ class Span:
             return 0.0
         return self.end - self.start
 
+    @property
+    def self_seconds(self) -> float:
+        """Duration not covered by child spans (floored at 0)."""
+        return max(0.0, self.duration
+                   - sum(child.duration for child in self.children))
+
     def to_dict(self) -> dict:
         """JSON-encodable nested representation."""
         node: dict = {"name": self.name,
                       "duration_s": round(self.duration, 6)}
+        if self.error is not None:
+            node["error"] = self.error
         if self.children:
             node["children"] = [child.to_dict() for child in self.children]
         return node
 
 
 class _SpanContext:
-    """Context manager that opens/closes one span on its tracer's stack."""
+    """Context manager that opens/closes one span on its tracer's stack.
+
+    Exception-safe: a raising span body still closes the span (so the
+    tracer never accumulates dangling open spans) and stamps the
+    exception type onto the span's ``error`` field before the exception
+    propagates.
+    """
 
     __slots__ = ("_tracer", "_name", "_span")
 
@@ -66,7 +81,9 @@ class _SpanContext:
         self._span = self._tracer._open(self._name)
         return self._span
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.error = exc_type.__name__
         self._tracer._close(self._span)
 
 
@@ -109,19 +126,27 @@ class Tracer:
                 break
 
     # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        """Number of spans currently open (0 between well-nested runs)."""
+        return len(self._stack)
+
     def span_tree(self) -> list[dict]:
         """Completed root spans as nested JSON-encodable dicts."""
         return [span.to_dict() for span in self.roots]
 
     def aggregate(self) -> dict[str, dict[str, float]]:
-        """Per-span-name totals: ``{name: {calls, total_s}}``."""
+        """Per-span-name totals: ``{name: {calls, total_s, errors}}``."""
         totals: dict[str, dict[str, float]] = {}
         stack = list(self.roots)
         while stack:
             span = stack.pop()
-            entry = totals.setdefault(span.name, {"calls": 0, "total_s": 0.0})
+            entry = totals.setdefault(span.name, {"calls": 0, "total_s": 0.0,
+                                                  "errors": 0})
             entry["calls"] += 1
             entry["total_s"] += span.duration
+            if span.error is not None:
+                entry["errors"] += 1
             stack.extend(span.children)
         return totals
 
@@ -149,6 +174,7 @@ class NullTracer:
     """Tracer that records nothing; ``span()`` returns a shared no-op."""
 
     roots: list = []
+    open_spans = 0
 
     def span(self, name: str) -> _NullSpanContext:
         return _NULL_SPAN

@@ -25,11 +25,16 @@ class Telemetry(MetricsRegistry):
         Per-series reservoir size (see :class:`MetricsRegistry`).
     """
 
-    def snapshot(self) -> dict:
+    def snapshot(self, *, samples: bool = False) -> dict:
         """All counters plus a summary of every observation series.
 
         The serving snapshot predates gauges; it keeps its original
         two-key shape (``counters`` / ``series``) for schema stability.
+        ``samples=True`` adds the raw reservoirs (see
+        :meth:`MetricsRegistry.snapshot`) for fleet-wide merging.
         """
-        full = super().snapshot()
-        return {"counters": full["counters"], "series": full["series"]}
+        full = super().snapshot(samples=samples)
+        payload = {"counters": full["counters"], "series": full["series"]}
+        if samples:
+            payload["samples"] = full["samples"]
+        return payload

@@ -122,3 +122,31 @@ def segment_softmax(values: Tensor, index: np.ndarray,
     exps = shifted.exp()
     denom = gather(segment_sum(exps, index, num_segments), index)
     return exps / (denom + 1e-16)
+
+
+# ----------------------------------------------------------------------
+# Profiler op table (consumed by repro.obs.profiler)
+# ----------------------------------------------------------------------
+def _flops_scatter(args, kwargs, out) -> float:
+    """One add/compare per scattered input row element."""
+    values = args[0]
+    size = values.data.size if isinstance(values, Tensor) else np.size(values)
+    return float(size)
+
+
+def _flops_gather(args, kwargs, out) -> float:
+    """Data movement only."""
+    return 0.0
+
+
+#: Module-level functions profiled by :class:`repro.obs.profiler.OpProfiler`.
+#: The composite ops (``segment_mean``, ``segment_softmax``) are built from
+#: the primitives below, so their *self* time in a profile excludes the
+#: nested ``segment_sum``/``gather``/``exp`` calls, which report separately.
+PROFILED_OPS = [
+    ("gather", "gather", _flops_gather),
+    ("segment_sum", "segment_sum", _flops_scatter),
+    ("segment_mean", "segment_mean", _flops_scatter),
+    ("segment_max", "segment_max", _flops_scatter),
+    ("segment_softmax", "segment_softmax", _flops_scatter),
+]

@@ -520,3 +520,81 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         b._accumulate(_unbroadcast(np.where(condition, 0.0, out.grad), b.shape))
 
     return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)
+
+
+# ----------------------------------------------------------------------
+# Profiler op table (consumed by repro.obs.profiler)
+# ----------------------------------------------------------------------
+def _size_of(value) -> int:
+    if isinstance(value, Tensor):
+        return value.data.size
+    if isinstance(value, np.ndarray):
+        return value.size
+    return 1
+
+
+def _flops_elementwise(args, kwargs, out) -> float:
+    """One fused pass over the output (forward only)."""
+    return float(_size_of(out))
+
+
+def _flops_matmul(args, kwargs, out) -> float:
+    """2·k multiply-adds per output element, k = the contracted dim."""
+    a = args[0]
+    k = a.shape[-1] if a.ndim else 1
+    return 2.0 * k * _size_of(out)
+
+
+def _flops_reduction(args, kwargs, out) -> float:
+    """One pass over the *input* (sum/mean/max read every element)."""
+    return float(_size_of(args[0]))
+
+
+def _flops_zero(args, kwargs, out) -> float:
+    """Data movement only (transpose/reshape/indexing/concat)."""
+    return 0.0
+
+
+#: ``(target, op label, flops estimator)`` rows consumed by
+#: :class:`repro.obs.profiler.OpProfiler`. ``target`` is either
+#: ``"Tensor.<method>"`` (patched on the class, so every call site sees
+#: it) or a module-level function name (patched in this module and
+#: re-bound in every importing ``repro.*`` module). Estimators receive
+#: ``(args, kwargs, result)`` and return forward-pass flops; ``backward``
+#: is timed but carries no static estimate (its work depends on the tape).
+PROFILED_OPS = [
+    ("Tensor.__add__", "add", _flops_elementwise),
+    ("Tensor.__radd__", "add", _flops_elementwise),
+    ("Tensor.__sub__", "sub", _flops_elementwise),
+    ("Tensor.__rsub__", "sub", _flops_elementwise),
+    ("Tensor.__mul__", "mul", _flops_elementwise),
+    ("Tensor.__rmul__", "mul", _flops_elementwise),
+    ("Tensor.__truediv__", "div", _flops_elementwise),
+    ("Tensor.__rtruediv__", "div", _flops_elementwise),
+    ("Tensor.__neg__", "neg", _flops_elementwise),
+    ("Tensor.__pow__", "pow", _flops_elementwise),
+    ("Tensor.__matmul__", "matmul", _flops_matmul),
+    ("Tensor.__getitem__", "getitem", _flops_zero),
+    ("Tensor.transpose", "transpose", _flops_zero),
+    ("Tensor.reshape", "reshape", _flops_zero),
+    ("Tensor.exp", "exp", _flops_elementwise),
+    ("Tensor.log", "log", _flops_elementwise),
+    ("Tensor.sqrt", "sqrt", _flops_elementwise),
+    ("Tensor.abs", "abs", _flops_elementwise),
+    ("Tensor.relu", "relu", _flops_elementwise),
+    ("Tensor.leaky_relu", "leaky_relu", _flops_elementwise),
+    ("Tensor.sigmoid", "sigmoid", _flops_elementwise),
+    ("Tensor.tanh", "tanh", _flops_elementwise),
+    ("Tensor.softplus", "softplus", _flops_elementwise),
+    ("Tensor.clip", "clip", _flops_elementwise),
+    ("Tensor.sum", "sum", _flops_reduction),
+    ("Tensor.mean", "mean", _flops_reduction),
+    ("Tensor.max", "max", _flops_reduction),
+    ("Tensor.norm", "norm", _flops_reduction),
+    ("Tensor.log_softmax", "log_softmax", _flops_elementwise),
+    ("Tensor.softmax", "softmax", _flops_elementwise),
+    ("Tensor.backward", "backward", None),
+    ("concatenate", "concatenate", _flops_zero),
+    ("stack", "stack", _flops_zero),
+    ("where", "where", _flops_elementwise),
+]

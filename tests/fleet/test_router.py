@@ -66,6 +66,28 @@ def test_failover_serves_from_surviving_shards(checkpoint, corpus, reference):
         assert router.stats()["alive"] == 2
 
 
+def test_service_latency_merges_true_fleet_wide_percentiles(checkpoint,
+                                                            corpus):
+    # stats()["service_latency"] must be percentiles over the *union* of
+    # every replica's raw embed_seconds samples — not an average of
+    # per-worker summaries, which goes wrong whenever load is skewed
+    # (and hash routing skews it by design).
+    with build_fleet(checkpoint, 3) as router:
+        for i in range(0, len(corpus), 4):
+            router.embed(corpus[i:i + 4])
+        stats = router.stats()
+        union = [sample for worker in stats["per_worker"]
+                 for sample in worker["service_telemetry"]["samples"]
+                 .get("embed_seconds", [])]
+        assert union, "replicas should ship raw samples in their stats"
+        latency = stats["service_latency"]
+        assert latency["requests"] == len(union)
+        for key, q in (("p50_ms", 50), ("p95_ms", 95), ("p99_ms", 99)):
+            assert latency[key] == pytest.approx(
+                float(np.percentile(union, q)) * 1e3)
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+
+
 def test_revived_worker_takes_its_traffic_back(checkpoint, corpus):
     with build_fleet(checkpoint, 2) as router:
         victim = router.home(corpus[0])

@@ -1,0 +1,172 @@
+"""Tests for the exporters: Chrome trace, collapsed stacks, Prometheus."""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import numpy as np
+
+from repro.obs import (
+    MetricsRegistry,
+    Observer,
+    OpProfiler,
+    Tracer,
+    chrome_trace,
+    collapsed_stacks,
+    prometheus_text,
+    write_chrome_trace,
+    write_collapsed_stacks,
+    write_prometheus_text,
+)
+from repro.obs.profiler import OpRecord
+from repro.tensor import Tensor
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing 1s per reading."""
+
+    def __init__(self):
+        self._ticks = itertools.count()
+
+    def __call__(self) -> float:
+        return float(next(self._ticks))
+
+
+def _record(span_path, op, self_s, cum_s=None):
+    record = OpRecord(tuple(span_path), op)
+    record.calls = 1
+    record.self_s = self_s
+    record.cum_s = cum_s if cum_s is not None else self_s
+    return record
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+def test_chrome_trace_renders_spans_as_complete_events():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    trace = chrome_trace(tracer)
+    events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    by_name = {e["name"]: e for e in events}
+    assert by_name["outer"]["ts"] == 0.0
+    assert by_name["outer"]["dur"] == 3e6  # 3 fake-clock seconds in µs
+    assert by_name["inner"]["ts"] == 1e6
+    assert by_name["inner"]["dur"] == 1e6
+    # Thread-name metadata makes Perfetto label the tracks.
+    names = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in names} == {"spans", "ops"}
+
+
+def test_chrome_trace_includes_profiler_op_events_on_second_track():
+    observer = Observer()
+    profiler = OpProfiler(observer, trace_events=True)
+    a = Tensor(np.ones((4, 4)))
+    with observer.activate(), profiler:
+        with observer.span("work"):
+            _ = a @ a
+    trace = chrome_trace(observer.tracer, profiler)
+    ops = [e for e in trace["traceEvents"]
+           if e["ph"] == "X" and e.get("cat") == "op"]
+    assert any(e["name"] == "matmul" and e["tid"] == 2 for e in ops)
+    matmul = next(e for e in ops if e["name"] == "matmul")
+    assert matmul["args"]["span"] == "work"
+
+
+def test_chrome_trace_error_span_carries_error_arg():
+    tracer = Tracer(clock=FakeClock())
+    try:
+        with tracer.span("doomed"):
+            raise ValueError("x")
+    except ValueError:
+        pass
+    trace = chrome_trace(tracer)
+    doomed = next(e for e in trace["traceEvents"] if e["name"] == "doomed")
+    assert doomed["args"]["error"] == "ValueError"
+
+
+def test_write_chrome_trace_is_valid_json(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("s"):
+        pass
+    path = write_chrome_trace(tmp_path / "trace.json", tracer)
+    parsed = json.loads(path.read_text())
+    assert parsed["traceEvents"]
+
+
+# ----------------------------------------------------------------------
+# Collapsed stacks
+# ----------------------------------------------------------------------
+def test_collapsed_stacks_format_and_merging():
+    records = [
+        _record(("run", "batch"), "matmul", 0.001),
+        _record(("run", "batch"), "matmul", 0.002),
+        _record(("run",), "(other)", 0.0005),
+        _record((), "backward", 0.004),
+    ]
+    text = collapsed_stacks(records)
+    lines = dict(line.rsplit(" ", 1) for line in text.strip().splitlines())
+    # Same stack merges; values are integer self-time microseconds.
+    assert lines["run;batch;matmul"] == "3000"
+    assert lines["run;(other)"] == "500"
+    assert lines["backward"] == "4000"
+
+
+def test_collapsed_stacks_drops_zero_weight_lines(tmp_path):
+    records = [_record(("a",), "noop", 0.0),
+               _record(("a",), "real", 0.001)]
+    path = write_collapsed_stacks(tmp_path / "flame.txt", records)
+    assert path.read_text() == "a;real 1000\n"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def test_prometheus_text_exposes_all_three_metric_kinds():
+    registry = MetricsRegistry()
+    registry.increment("fleet/failover", 3)
+    registry.set_gauge("prof/wall_seconds", 1.5)
+    for value in (0.1, 0.2, 0.3, 0.4):
+        registry.observe("embed_seconds", value)
+    text = prometheus_text(registry)
+    assert "# TYPE repro_fleet_failover_total counter" in text
+    assert "repro_fleet_failover_total 3" in text
+    assert "repro_prof_wall_seconds 1.5" in text
+    assert 'repro_embed_seconds{quantile="0.5"}' in text
+    assert "repro_embed_seconds_count 4" in text
+    assert "repro_embed_seconds_max 0.4" in text
+
+
+def test_prometheus_metric_names_are_sanitised():
+    registry = MetricsRegistry()
+    registry.increment("routed/w0", 1)
+    registry.increment("1weird.name", 1)
+    text = prometheus_text(registry, prefix="")
+    assert "routed_w0_total 1" in text
+    assert "_1weird_name_total 1" in text  # leading digit escaped
+    # Every exposed name is legal for Prometheus.
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name = line.split("{")[0].split(" ")[0]
+        assert all(c.isalnum() or c in "_:" for c in name), name
+
+
+def test_prometheus_text_skips_nan_gauges_and_empty_is_empty(tmp_path):
+    registry = MetricsRegistry()
+    assert prometheus_text(registry) == ""
+    registry.set_gauge("bad", float("nan"))
+    assert prometheus_text(registry) == ""
+    registry.increment("ok")
+    path = write_prometheus_text(tmp_path / "metrics.prom", registry)
+    assert "repro_ok_total 1" in path.read_text()
+
+
+def test_prometheus_text_accepts_snapshot_dicts():
+    registry = MetricsRegistry()
+    registry.increment("requests", 2)
+    registry.observe("lat", 0.5)
+    assert prometheus_text(registry.snapshot()) == prometheus_text(registry)

@@ -55,6 +55,58 @@ def test_timer_observes_elapsed_seconds():
     assert registry.summary("block")["count"] == 1
 
 
+def test_merge_percentiles_equal_single_registry_recording():
+    # The fleet-wide latency invariant: merging per-worker registries must
+    # give the same percentiles as recording every observation into one
+    # registry — no averaging-of-averages.
+    combined = MetricsRegistry()
+    workers = [MetricsRegistry() for _ in range(3)]
+    for w, registry in enumerate(workers):
+        for i in range(40):
+            value = (w * 40 + i) / 10.0
+            registry.observe("embed_seconds", value)
+            combined.observe("embed_seconds", value)
+    merged = MetricsRegistry()
+    for registry in workers:
+        merged.merge(registry)
+    for q in (50, 95, 99):
+        assert merged.percentile("embed_seconds", q) == \
+            combined.percentile("embed_seconds", q)
+    assert merged.summary("embed_seconds") == combined.summary("embed_seconds")
+
+
+def test_merge_accepts_samples_snapshot_dicts():
+    # ProcessReplica workers ship snapshot(samples=True) over a pipe; the
+    # router merges the plain dict. Percentiles must survive the trip.
+    worker = MetricsRegistry()
+    worker.increment("requests", 5)
+    worker.set_gauge("depth", 2.0)
+    for value in (0.1, 0.2, 0.9):
+        worker.observe("embed_seconds", value)
+    merged = MetricsRegistry().merge(worker.snapshot(samples=True))
+    assert merged.count("requests") == 5
+    assert merged.gauge("depth") == 2.0
+    assert merged.percentile("embed_seconds", 50) == \
+        worker.percentile("embed_seconds", 50)
+    # A samples-free snapshot merges counters/gauges only — no fabricated
+    # observations from summary statistics.
+    no_samples = MetricsRegistry().merge(worker.snapshot())
+    assert no_samples.count("requests") == 5
+    assert no_samples.summary("embed_seconds")["count"] == 0
+
+
+def test_merge_adds_counters_and_overwrites_gauges():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.increment("hits", 2)
+    b.increment("hits", 3)
+    a.set_gauge("level", 1.0)
+    b.set_gauge("level", 9.0)
+    a.merge(b)
+    assert a.count("hits") == 5
+    assert a.gauge("level") == 9.0  # merged-in value wins
+
+
 def test_serving_telemetry_is_a_registry_shim():
     telemetry = Telemetry(max_samples=16)
     assert isinstance(telemetry, MetricsRegistry)

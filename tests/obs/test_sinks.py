@@ -102,6 +102,42 @@ def test_console_sink_falls_back_to_key_value_lines():
     assert stream.getvalue() == "[custom] answer=42\n"
 
 
+def test_jsonl_sink_context_manager_closes_even_when_body_raises(tmp_path):
+    path = tmp_path / "run.jsonl"
+    try:
+        with JSONLSink(path) as sink:
+            sink.emit({"event": "before_crash", "i": 1})
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert sink.closed
+    assert load_events(path) == [{"event": "before_crash", "i": 1}]
+
+
+def test_jsonl_close_is_idempotent_and_flush_safe_after_close(tmp_path):
+    sink = JSONLSink(tmp_path / "run.jsonl")
+    sink.emit({"event": "x"})
+    sink.close()
+    sink.close()  # second close must not raise
+    sink.flush()  # nor must flushing a closed sink
+    assert sink.closed
+
+
+def test_killed_mid_run_log_is_a_valid_prefix(tmp_path):
+    # Simulate a process killed between emits: every emit writes + flushes
+    # one whole line, so a log abandoned without close() still parses and
+    # holds exactly the events emitted so far.
+    path = tmp_path / "killed.jsonl"
+    sink = JSONLSink(path)
+    for i in range(5):
+        sink.emit({"event": "tick", "i": i})
+    # No close() — read the file as another process (or a post-mortem
+    # `repro report`) would while this one is still holding it open.
+    events = load_events(path)
+    assert [e["i"] for e in events] == [0, 1, 2, 3, 4]
+    sink.close()
+
+
 def test_observer_fans_out_to_all_sinks(tmp_path):
     memory = MemorySink()
     jsonl = JSONLSink(tmp_path / "run.jsonl")

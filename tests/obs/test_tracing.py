@@ -105,3 +105,69 @@ def test_null_tracer_records_nothing():
     assert NULL_TRACER.aggregate() == {}
     # span() hands back a shared object — no per-call allocation.
     assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+# ----------------------------------------------------------------------
+# Exception safety: raising span bodies must still close their spans
+# ----------------------------------------------------------------------
+def test_raising_span_closes_and_records_the_error():
+    tracer = Tracer(clock=FakeClock())
+    try:
+        with tracer.span("outer"):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+    except ValueError:
+        pass
+    assert tracer.open_spans == 0
+    outer = tracer.roots[0]
+    doomed = outer.children[0]
+    assert doomed.end is not None and doomed.error == "ValueError"
+    # The exception propagated through `outer` too, so it is tagged as
+    # well; the error column surfaces in the aggregate for tables.
+    assert outer.error == "ValueError"
+    assert tracer.aggregate()["doomed"]["errors"] == 1
+    assert "error" in doomed.to_dict()
+
+
+def test_error_does_not_leak_into_subsequent_spans():
+    tracer = Tracer(clock=FakeClock())
+    try:
+        with tracer.span("bad"):
+            raise RuntimeError
+    except RuntimeError:
+        pass
+    with tracer.span("good"):
+        pass
+    good = tracer.roots[1]
+    assert good.error is None
+    assert [s.name for s in tracer.roots] == ["bad", "good"]
+    assert tracer.open_spans == 0
+
+
+def test_no_dangling_spans_after_a_raising_pretrain_batch(rng):
+    # Integration: a crash deep inside the instrumented training loop
+    # (under pretrain/epoch > pretrain/batch > pretrain/loss) must unwind
+    # every open span, or every later trace in the process nests under a
+    # ghost of the failed run.
+    from repro.core import SGCLConfig, SGCLTrainer
+    from repro.obs import Observer
+    from tests._helpers import make_path, make_triangle
+
+    graphs = [make_triangle(rng), make_path(rng, 4), make_triangle(rng)]
+    trainer = SGCLTrainer(graphs[0].x.shape[1],
+                          SGCLConfig(epochs=1, batch_size=4, seed=0))
+
+    def exploding_loss(*args, **kwargs):
+        raise RuntimeError("injected mid-batch failure")
+
+    trainer.model.loss = exploding_loss
+    observer = Observer()
+    with observer.activate():
+        try:
+            trainer.pretrain(graphs, observer=observer)
+        except RuntimeError:
+            pass
+    assert observer.tracer.open_spans == 0
+    names = {name for name in observer.tracer.aggregate()}
+    assert "pretrain/loss" in names
+    assert observer.tracer.aggregate()["pretrain/loss"]["errors"] == 1

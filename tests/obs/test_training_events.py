@@ -88,12 +88,17 @@ def test_traced_pretrain_records_span_tree(mutag):
     assert aggregate["pretrain/batch"]["calls"] >= 1
     assert aggregate["lipschitz/generator"]["calls"] >= 1
     assert aggregate["augment/sample"]["calls"] >= 1
-    # Nesting: batches inside the epoch, generator inside a batch.
+    # Nesting: batches inside the epoch; each batch splits into the
+    # loss/backward/step phases; the generator runs inside the loss.
     epoch_span = next(s for s in observer.tracer.roots
                       if s.name == "pretrain/epoch")
     batch_names = {c.name for c in epoch_span.children}
     assert batch_names == {"pretrain/batch"}
-    inner = {c.name for c in epoch_span.children[0].children}
+    phases = {c.name for c in epoch_span.children[0].children}
+    assert phases == {"pretrain/loss", "pretrain/backward", "pretrain/step"}
+    loss_span = next(c for c in epoch_span.children[0].children
+                     if c.name == "pretrain/loss")
+    inner = {c.name for c in loss_span.children}
     assert "lipschitz/generator" in inner
     assert "augment/sample" in inner
 
