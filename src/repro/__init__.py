@@ -21,6 +21,7 @@ from . import (
     graph,
     nn,
     obs,
+    sampling,
     serve,
     tensor,
     validate,
@@ -37,6 +38,7 @@ __all__ = [
     "baselines",
     "bench",
     "obs",
+    "sampling",
     "serve",
     "fleet",
     "validate",

@@ -6,6 +6,12 @@ Commands
     List registered datasets with their generated statistics.
 ``pretrain``
     Pre-train a method on a dataset and report unsupervised CV accuracy.
+    With ``--node-level``, train node-level SGCL on sampled subgraphs of
+    a large node dataset (``community-1m``) and report the node
+    linear-probe accuracy instead.
+``sample``
+    Draw seeded subgraphs from a node dataset and summarise the stream
+    (reproduces exactly what ``pretrain --node-level`` consumes).
 ``transfer``
     Pre-train on ZincLike and fine-tune on a MoleculeNet-style task.
 ``inspect``
@@ -125,12 +131,16 @@ def _finish_observer(observer, log_path, args) -> None:
 
 def _cmd_datasets(args: argparse.Namespace) -> None:
     from .data import available_datasets, load_dataset
+    from .sampling import available_node_datasets, load_node_dataset
 
     if args.json:
         payload = {}
         for name in available_datasets():
             dataset = load_dataset(name, seed=0, scale=args.scale)
             payload[name] = {**dataset.statistics(), "task": dataset.task}
+        for name in available_node_datasets():
+            dataset = load_node_dataset(name, seed=0, scale=args.scale)
+            payload[name] = {**dataset.statistics(), "task": "node"}
         print(json.dumps(payload, indent=2, sort_keys=True))
         return
     print(f"{'name':<18}{'graphs':>8}{'avg nodes':>11}{'avg edges':>11}"
@@ -141,6 +151,12 @@ def _cmd_datasets(args: argparse.Namespace) -> None:
         print(f"{name:<18}{stats['num_graphs']:>8}"
               f"{stats['avg_nodes']:>11.1f}{stats['avg_edges']:>11.1f}"
               f"{stats['num_classes']:>9}{dataset.task:>16}")
+    for name in available_node_datasets():
+        dataset = load_node_dataset(name, seed=0, scale=args.scale)
+        stats = dataset.statistics()
+        print(f"{name:<18}{1:>8}"
+              f"{stats['num_nodes']:>11.1f}{stats['num_edges']:>11.1f}"
+              f"{stats['num_classes']:>9}{'node':>16}")
 
 
 def _pretrain_checkpointed(args: argparse.Namespace) -> None:
@@ -201,11 +217,81 @@ def _pretrain_checkpointed(args: argparse.Namespace) -> None:
           f"(loss {loss:.4f}); checkpoints in {directory}")
 
 
+def _pretrain_node_level(args: argparse.Namespace) -> None:
+    """Node-level SGCL over sampled subgraphs (``pretrain --node-level``).
+
+    Trains one seeded :class:`~repro.sampling.NodeSGCLTrainer` run on a
+    :class:`~repro.sampling.SubgraphStream` and reports the node-level
+    linear-probe accuracy. ``--checkpoint-dir`` refreshes ``latest.npz``
+    every epoch; ``--resume`` continues from it bit-exactly (the stream
+    re-derives epoch seeds from the history length, so no loader state
+    is persisted).
+    """
+    from pathlib import Path
+
+    from .core import SGCLConfig
+    from .eval import node_linear_probe
+    from .runtime import ParallelExecutor
+    from .sampling import NodeSGCLTrainer, SubgraphStream, load_node_dataset, \
+        make_sampler
+
+    if args.method != "SGCL":
+        raise SystemExit(
+            f"pretrain: --node-level supports --method SGCL only "
+            f"(got {args.method!r})")
+    observer, log_path = _observer_from_args(args)
+    dataset = load_node_dataset(args.dataset, seed=0, scale=args.scale)
+    if log_path is not None:
+        from .obs import RunManifest
+
+        RunManifest(
+            observer.run_id,
+            config={key: value for key, value in vars(args).items()
+                    if key not in ("fn", "command")},
+            dataset={"name": args.dataset, **dataset.statistics()},
+            seed=0, extra={"command": "pretrain --node-level"},
+        ).write(log_path.with_suffix(".manifest.json"))
+    sampler = make_sampler(args.sampler, dataset)
+    stream = SubgraphStream(
+        sampler, samples_per_epoch=args.samples_per_epoch,
+        batch_size=args.subgraph_batch, seed=0,
+        executor=ParallelExecutor(args.workers))
+    with observer.activate():
+        trainer = None
+        directory = Path(args.checkpoint_dir) if args.checkpoint_dir else None
+        if args.resume and directory and (directory / "latest.npz").exists():
+            trainer = NodeSGCLTrainer.from_checkpoint(directory / "latest.npz")
+            print(f"resuming at epoch {len(trainer.history) + 1}")
+        if trainer is None:
+            trainer = NodeSGCLTrainer(
+                dataset.num_features,
+                SGCLConfig(epochs=args.epochs, seed=0))
+        remaining = max(0, args.epochs - len(trainer.history))
+        if remaining:
+            trainer.pretrain(stream, epochs=remaining,
+                             checkpoint_dir=directory)
+        probe = node_linear_probe(
+            trainer.encoder, dataset, seed=0,
+            num_nodes=min(500, dataset.num_nodes))
+    _finish_observer(observer, log_path, args)
+    loss = trainer.history[-1]["loss"] if trainer.history else float("nan")
+    suffix = f"; checkpoints in {directory}" if directory else ""
+    print(f"SGCL node-level on {args.dataset} "
+          f"({dataset.num_nodes} nodes, sampler={args.sampler}): "
+          f"{len(trainer.history)} epoch(s), loss {loss:.4f}, "
+          f"probe accuracy {probe['accuracy']:.1%} "
+          f"({probe['num_train']}/{probe['num_test']} train/test)"
+          f"{suffix}")
+
+
 def _cmd_pretrain(args: argparse.Namespace) -> None:
     from .bench import run_unsupervised
 
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("pretrain: --resume requires --checkpoint-dir")
+    if args.node_level:
+        _pretrain_node_level(args)
+        return
     if args.checkpoint_dir:
         _pretrain_checkpointed(args)
         return
@@ -322,6 +408,136 @@ def _cmd_save(args: argparse.Namespace) -> None:
           f"({args.epochs} epoch(s)) to {path}")
 
 
+def _cmd_sample(args: argparse.Namespace) -> None:
+    """Draw seeded subgraphs and report the stream's shape.
+
+    The exact subgraphs a ``pretrain --node-level`` run would see (same
+    seed derivation), reproducible offline: ``repro sample --epoch 3
+    --index 7`` prints epoch 3's 8th subgraph, bit-identical to the one
+    the trainer consumed.
+    """
+    import numpy as np
+
+    from .runtime import ParallelExecutor
+    from .sampling import SubgraphStream, load_node_dataset, make_sampler
+
+    observer, log_path = _observer_from_args(args)
+    dataset = load_node_dataset(args.dataset, seed=0, scale=args.scale)
+    sampler = make_sampler(args.sampler, dataset)
+    stream = SubgraphStream(sampler, samples_per_epoch=args.samples,
+                            batch_size=args.samples, seed=args.seed,
+                            executor=ParallelExecutor(args.workers))
+    with observer.activate():
+        graphs = list(stream.subgraphs(epoch=args.epoch))
+    _finish_observer(observer, log_path, args)
+    nodes = np.array([g.num_nodes for g in graphs], dtype=float)
+    edges = np.array([g.num_edges / 2 for g in graphs], dtype=float)
+    payload = {
+        "dataset": args.dataset,
+        "sampler": args.sampler,
+        "seed": args.seed,
+        "epoch": args.epoch,
+        "samples": len(graphs),
+        "nodes": {"mean": float(nodes.mean()), "min": int(nodes.min()),
+                  "max": int(nodes.max())},
+        "edges": {"mean": float(edges.mean()), "min": int(edges.min()),
+                  "max": int(edges.max())},
+    }
+    if args.index is not None:
+        graph = graphs[args.index]
+        payload["subgraph"] = {
+            "index": args.index,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges // 2,
+            "node_ids": graph.meta["node_id"][:20].tolist(),
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    print(f"{args.sampler} sampler on {args.dataset} "
+          f"({dataset.num_nodes} nodes): {len(graphs)} subgraph(s), "
+          f"epoch {args.epoch}, seed {args.seed}")
+    print(f"  nodes/subgraph: mean {nodes.mean():.1f} "
+          f"[{int(nodes.min())}, {int(nodes.max())}]")
+    print(f"  edges/subgraph: mean {edges.mean():.1f} "
+          f"[{int(edges.min())}, {int(edges.max())}]")
+    if args.index is not None:
+        sub = payload["subgraph"]
+        print(f"  subgraph {sub['index']}: {sub['num_nodes']} nodes, "
+              f"{sub['num_edges']} edges, first ids {sub['node_ids']}")
+
+
+def _parse_node_ids(spec: str) -> list[int]:
+    """``"0,5,9-12"`` → ``[0, 5, 9, 10, 11, 12]``."""
+    ids: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            low, high = part.split("-", 1)
+            ids.extend(range(int(low), int(high) + 1))
+        else:
+            ids.append(int(part))
+    if not ids:
+        raise SystemExit(f"embed: no node ids in --nodes {spec!r}")
+    return ids
+
+
+def _embed_node_level(args: argparse.Namespace) -> None:
+    """Per-node embeddings through the graph-level service (ego-nets)."""
+    import zipfile
+
+    import numpy as np
+
+    from .data.io import atomic_write
+    from .sampling import NodeEmbeddingIndex, load_node_dataset
+    from .serve import EmbeddingService, read_checkpoint_header
+
+    try:
+        header = read_checkpoint_header(args.checkpoint)
+        service = EmbeddingService.from_checkpoint(
+            args.checkpoint, max_batch_size=args.batch_size)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as error:
+        raise SystemExit(
+            f"embed: cannot load checkpoint {args.checkpoint}: "
+            f"{error}") from error
+    dataset = load_node_dataset(args.dataset, seed=args.seed,
+                                scale=args.scale)
+    if header["in_dim"] is not None \
+            and dataset.num_features != header["in_dim"]:
+        raise SystemExit(
+            f"checkpoint expects {header['in_dim']} node features; "
+            f"{args.dataset} has {dataset.num_features}")
+    node_ids = np.asarray(_parse_node_ids(args.nodes), dtype=np.int64)
+    if node_ids.min() < 0 or node_ids.max() >= dataset.num_nodes:
+        raise SystemExit(
+            f"embed: node ids must be in [0, {dataset.num_nodes}); "
+            f"got {node_ids.min()}..{node_ids.max()}")
+    index = NodeEmbeddingIndex(service, dataset, seed=args.seed)
+    embeddings = index.embed_nodes(node_ids)
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        if out.suffix != ".npz":
+            out = out.with_suffix(".npz")
+        try:
+            with atomic_write(out, suffix=".npz") as tmp:
+                np.savez_compressed(tmp, embeddings=embeddings,
+                                    node_ids=node_ids,
+                                    labels=dataset.y[node_ids])
+        except OSError as error:
+            raise SystemExit(f"embed: cannot write {out}: {error}") from error
+        print(f"wrote {embeddings.shape[0]}×{embeddings.shape[1]} node "
+              f"embeddings to {out}")
+    else:
+        print(f"embedded {embeddings.shape[0]} node(s) "
+              f"→ {embeddings.shape[1]}-dim")
+    if args.stats:
+        print(json.dumps(service.stats(), indent=2))
+
+
 def _cmd_embed(args: argparse.Namespace) -> None:
     import zipfile
 
@@ -331,6 +547,9 @@ def _cmd_embed(args: argparse.Namespace) -> None:
     from .data.io import atomic_write
     from .serve import EmbeddingService, read_checkpoint_header
 
+    if args.node_level:
+        _embed_node_level(args)
+        return
     try:
         header = read_checkpoint_header(args.checkpoint)
         service = EmbeddingService.from_checkpoint(
@@ -564,9 +783,39 @@ def build_parser() -> argparse.ArgumentParser:
     pretrain.add_argument("--resume", action="store_true",
                           help="continue from the most advanced valid "
                                "checkpoint in --checkpoint-dir")
+    pretrain.add_argument("--node-level", action="store_true",
+                          help="node-level SGCL over sampled subgraphs of a "
+                               "node dataset (e.g. community-1m); reports "
+                               "linear-probe accuracy")
+    pretrain.add_argument("--sampler", default="walk",
+                          choices=["walk", "neighbor", "edge"],
+                          help="subgraph sampler for --node-level")
+    pretrain.add_argument("--samples-per-epoch", type=int, default=64,
+                          help="subgraphs per epoch for --node-level")
+    pretrain.add_argument("--subgraph-batch", type=int, default=8,
+                          help="subgraphs per minibatch for --node-level")
     _add_observability_flags(pretrain)
     _add_runtime_flags(pretrain)
     pretrain.set_defaults(fn=_cmd_pretrain)
+
+    sample = sub.add_parser(
+        "sample", help="draw seeded subgraphs from a node dataset")
+    sample.add_argument("--dataset", default="community-1m")
+    sample.add_argument("--sampler", default="walk",
+                        choices=["walk", "neighbor", "edge"])
+    sample.add_argument("--samples", type=int, default=16,
+                        help="subgraphs to draw")
+    sample.add_argument("--epoch", type=int, default=0,
+                        help="epoch whose seed stream to reproduce")
+    sample.add_argument("--index", type=int, default=None,
+                        help="also print this subgraph's provenance")
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument("--scale", type=float, default=0.01)
+    sample.add_argument("--json", action="store_true",
+                        help="machine-readable summary on stdout")
+    _add_observability_flags(sample)
+    _add_runtime_flags(sample)
+    sample.set_defaults(fn=_cmd_sample)
 
     transfer = sub.add_parser("transfer", help="transfer protocol")
     transfer.add_argument("--method", default="SGCL")
@@ -630,6 +879,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write embeddings + labels to this .npz")
     embed.add_argument("--stats", action="store_true",
                        help="print service telemetry after embedding")
+    embed.add_argument("--node-level", action="store_true",
+                       help="serve per-node embeddings of a node dataset "
+                            "(deterministic ego-nets through the same "
+                            "cached service)")
+    embed.add_argument("--nodes", default="0-15",
+                       help="node ids for --node-level: comma list and/or "
+                            "ranges, e.g. '0,5,9-12'")
     embed.set_defaults(fn=_cmd_embed)
 
     serve = sub.add_parser(

@@ -165,7 +165,5 @@ class LipschitzConstantGenerator(Module):
             contribution = alpha * alpha * gather(node_norm_sq, src)
             influence = segment_sum(contribution, src, n)
         representation_distance = (node_norm_sq + influence + 1e-12).sqrt()
-        degrees = np.bincount(batch.edge_index[0], minlength=n).astype(float) \
-            if batch.num_edges else np.zeros(n)
-        topo = topology_distance(degrees)
+        topo = topology_distance(batch.degrees())
         return representation_distance * Tensor(1.0 / topo)

@@ -223,9 +223,8 @@ class SGCLModel(Module):
             # and the Lipschitz constants measure semantic relevance rather
             # than initialisation noise (DESIGN.md §5).
             reps = self.generator.node_representations(batch)
-            degrees = np.bincount(batch.edge_index[0],
-                                  minlength=batch.num_nodes).astype(float)
-            loss_g = graph_likelihood_loss(reps, batch.edge_index, degrees,
+            loss_g = graph_likelihood_loss(reps, batch.edge_index,
+                                           batch.degrees(),
                                            self.edge_weight, rng)
             total = total + config.lambda_g * loss_g
             stats["loss_g"] = loss_g.item()

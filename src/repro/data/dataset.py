@@ -69,10 +69,34 @@ class GraphDataset:
         return self.graphs[0].num_features
 
     def labels(self) -> np.ndarray:
-        return np.asarray([g.y for g in self.graphs])
+        """Graph-level labels, one row per graph.
+
+        Graphs without a graph-level label (``y=None`` — e.g. node-labelled
+        corpora, where supervision lives on the nodes) contribute NaN rows
+        instead of silently degrading the result to an object array: with
+        any labelled graph present the missing entries become NaN (scalar
+        or NaN-filled vector, matching the labelled shape); with no
+        labelled graph at all the result is an all-NaN float vector.
+        """
+        ys = [g.y for g in self.graphs]
+        if all(y is not None for y in ys):
+            return np.asarray(ys)
+        reference = next((y for y in ys if y is not None), None)
+        if reference is None:
+            return np.full(len(ys), np.nan)
+        blank = np.full(np.shape(reference), np.nan) \
+            if np.ndim(reference) else np.nan
+        return np.asarray([blank if y is None else y for y in ys],
+                          dtype=np.float64)
 
     def statistics(self) -> dict[str, float]:
-        """Summary statistics in the format of the paper's Tables I/II."""
+        """Summary statistics in the format of the paper's Tables I/II.
+
+        ``num_labeled`` counts graphs carrying a graph-level label, so
+        corpora mixing labelled and node-labelled (``y=None``) graphs
+        report their supervision coverage instead of crashing consumers
+        that assume every graph is labelled.
+        """
         nodes = np.array([g.num_nodes for g in self.graphs], dtype=float)
         edges = np.array([g.num_edges / 2 for g in self.graphs], dtype=float)
         return {
@@ -81,6 +105,7 @@ class GraphDataset:
             "avg_edges": float(edges.mean()),
             "num_features": self.num_features,
             "num_classes": self.num_classes,
+            "num_labeled": sum(g.y is not None for g in self.graphs),
         }
 
     def subset(self, indices) -> "GraphDataset":

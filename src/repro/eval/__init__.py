@@ -3,6 +3,7 @@
 from .svm import SVC, OneVsRestSVC, linear_kernel, rbf_kernel
 from .linear_model import LogisticRegression
 from .metrics import accuracy, mean_std, multitask_roc_auc, roc_auc
+from .node_probe import embed_nodes, node_linear_probe
 from .protocol import (
     cross_validated_accuracy,
     embed_dataset,
@@ -24,4 +25,6 @@ __all__ = [
     "cross_validated_accuracy",
     "finetune_multitask",
     "finetune_classifier",
+    "embed_nodes",
+    "node_linear_probe",
 ]

@@ -20,7 +20,7 @@ class Batch:
     """A batch of graphs as one big disconnected graph."""
 
     __slots__ = ("x", "edge_index", "node_graph", "num_graphs", "node_offsets",
-                 "graphs", "ys")
+                 "graphs", "ys", "_degrees")
 
     def __init__(self, graphs: Sequence[Graph]):
         if not graphs:
@@ -36,6 +36,7 @@ class Batch:
             np.zeros((2, 0), dtype=np.int64)
         self.node_graph = np.repeat(np.arange(self.num_graphs), sizes)
         self.ys = [g.y for g in graphs]
+        self._degrees: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -54,6 +55,20 @@ class Batch:
                 f"num_nodes={self.num_nodes}, num_edges={self.num_edges})")
 
     # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """Per-node out-degrees across the whole batch.
+
+        Assembled from each member graph's (cached) :meth:`Graph.degrees`,
+        so repeated callers — the Lipschitz generator recomputes ``K_V``
+        every step — never re-run ``np.bincount`` over the same graph.
+        Bit-identical to ``np.bincount(edge_index[0], minlength=num_nodes)``
+        on the batched edge index.
+        """
+        if self._degrees is None:
+            self._degrees = np.concatenate(
+                [g.degrees() for g in self.graphs])
+        return self._degrees
+
     def labels(self) -> np.ndarray:
         """Stack graph labels into an array (int or float matrix)."""
         return np.asarray(self.ys)

@@ -34,7 +34,7 @@ class Graph:
         models; used by tests, benches and visualisation.
     """
 
-    __slots__ = ("x", "edge_index", "y", "meta")
+    __slots__ = ("x", "edge_index", "y", "meta", "_degrees")
 
     def __init__(self, x: np.ndarray, edge_index: np.ndarray,
                  y: Any = None, meta: dict | None = None):
@@ -53,6 +53,7 @@ class Graph:
         self.edge_index = edge_index
         self.y = y
         self.meta = meta or {}
+        self._degrees: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -74,9 +75,19 @@ class Graph:
 
     # ------------------------------------------------------------------
     def degrees(self) -> np.ndarray:
-        """Out-degree of every node (== in-degree for undirected graphs)."""
-        return np.bincount(self.edge_index[0], minlength=self.num_nodes).astype(
-            np.float64)
+        """Out-degree of every node (== in-degree for undirected graphs).
+
+        Computed lazily once per graph and cached (graphs are treated as
+        immutable after construction; every transform in this codebase
+        builds a new :class:`Graph`). The returned array is marked
+        read-only so a caller cannot poison the cache in place.
+        """
+        if self._degrees is None:
+            degrees = np.bincount(self.edge_index[0],
+                                  minlength=self.num_nodes).astype(np.float64)
+            degrees.setflags(write=False)
+            self._degrees = degrees
+        return self._degrees
 
     def adjacency(self) -> np.ndarray:
         """Dense 0/1 adjacency matrix ``A`` (paper Eq. 5 distances use it)."""

@@ -1,0 +1,51 @@
+"""Subgraph-sampling subsystem: large-graph node-level SGCL.
+
+Opens the ogbn-products-shaped workload — one graph too large to batch —
+by training on sampled subgraphs (GraphSAINT-style): seeded synthetic
+node corpora (:mod:`community`), CSR adjacency (:mod:`csr`), subgraph
+samplers (:mod:`samplers`), the streaming minibatch pipeline
+(:mod:`stream`), the node-level trainer (:mod:`pretrain`) and per-node
+serving over the existing fleet path (:mod:`serving`). See
+docs/SAMPLING.md for the walkthrough.
+"""
+
+from .community import (
+    NodeDataset,
+    available_node_datasets,
+    generate_community_graph,
+    load_node_dataset,
+    register_node_dataset,
+)
+from .csr import CSRAdjacency
+from .pretrain import NodeSGCLTrainer, node_contrastive_loss, node_info_nce
+from .samplers import (
+    EdgeSampler,
+    NeighborSampler,
+    RandomWalkSampler,
+    SubgraphSampler,
+    induced_subgraph,
+    make_sampler,
+)
+from .serving import NodeEmbeddingIndex, ego_subgraph
+from .stream import SubgraphStream
+
+__all__ = [
+    "CSRAdjacency",
+    "NodeDataset",
+    "register_node_dataset",
+    "load_node_dataset",
+    "available_node_datasets",
+    "generate_community_graph",
+    "SubgraphSampler",
+    "RandomWalkSampler",
+    "NeighborSampler",
+    "EdgeSampler",
+    "induced_subgraph",
+    "make_sampler",
+    "SubgraphStream",
+    "NodeSGCLTrainer",
+    "node_info_nce",
+    "node_contrastive_loss",
+    "NodeEmbeddingIndex",
+    "ego_subgraph",
+]

@@ -1,0 +1,236 @@
+"""Node-level datasets and the seeded ``community-1m`` generator.
+
+Graph-level corpora (``repro.data``) hold many small graphs; the
+node-level workload this package targets is the opposite shape — *one*
+large graph (ogbn-products-like) whose supervision lives on nodes. A
+:class:`NodeDataset` therefore stores a single feature matrix, a single
+edge index (plus its cached :class:`~repro.sampling.csr.CSRAdjacency`)
+and a per-node label vector, and gets its own registry so
+``load_dataset`` keeps its many-small-graphs semantics untouched.
+
+``community-1m`` is the bundled generator: a planted-community graph of
+``1,000,000 × scale`` nodes (floor 256). Nodes are assigned to
+contiguous community blocks; features are the community centroid plus
+Gaussian noise; labels are the community id modulo ``num_classes`` with
+a small flip fraction, so a linear probe over good embeddings beats the
+noise floor but not trivially. All sampling is vectorised and driven by
+one ``default_rng(seed)`` — identical ``(seed, scale)`` gives a
+bit-identical dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..graph import Graph
+from .csr import CSRAdjacency
+
+__all__ = [
+    "NodeDataset",
+    "register_node_dataset",
+    "load_node_dataset",
+    "available_node_datasets",
+    "generate_community_graph",
+]
+
+
+class NodeDataset:
+    """One large attributed graph with per-node labels.
+
+    Parameters
+    ----------
+    name:
+        Human-readable dataset name.
+    x:
+        Node feature matrix, shape ``(num_nodes, num_features)``.
+    edge_index:
+        ``(2, E)`` int array with both orientations of every edge.
+    y:
+        Per-node int labels, shape ``(num_nodes,)``.
+    num_classes:
+        Number of label classes.
+    meta:
+        Generator-side ground truth (community assignment etc.); never
+        read by models.
+    """
+
+    def __init__(self, name: str, x: np.ndarray, edge_index: np.ndarray,
+                 y: np.ndarray, num_classes: int, meta: dict | None = None):
+        self.name = name
+        self.x = np.asarray(x, dtype=np.float64)
+        self.edge_index = np.asarray(edge_index, dtype=np.int64)
+        self.y = np.asarray(y, dtype=np.int64)
+        if self.x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {self.x.shape}")
+        if len(self.y) != self.x.shape[0]:
+            raise ValueError("y must have one label per node")
+        self.num_classes = num_classes
+        self.meta = meta or {}
+        self._csr: CSRAdjacency | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edge entries (2× the undirected edge count)."""
+        return self.edge_index.shape[1]
+
+    def csr(self) -> CSRAdjacency:
+        """CSR adjacency, built once and cached (samplers hit this hot)."""
+        if self._csr is None:
+            self._csr = CSRAdjacency.from_edge_index(self.edge_index,
+                                                     self.num_nodes)
+        return self._csr
+
+    def degrees(self) -> np.ndarray:
+        return self.csr().degrees()
+
+    def statistics(self) -> dict[str, float]:
+        degrees = self.degrees()
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges / 2,
+            "num_features": self.num_features,
+            "num_classes": self.num_classes,
+            "avg_degree": float(degrees.mean()),
+            "max_degree": int(degrees.max()),
+        }
+
+    def as_graph(self) -> Graph:
+        """The whole graph as a :class:`Graph` (``y=None``, labels in meta).
+
+        Only sensible at tiny scales — tests and the exact-eval path use
+        it; production paths go through the samplers.
+        """
+        return Graph(self.x, self.edge_index, None,
+                     {"node_y": self.y.copy(),
+                      "node_id": np.arange(self.num_nodes)})
+
+    def __repr__(self) -> str:
+        return (f"NodeDataset({self.name!r}, num_nodes={self.num_nodes}, "
+                f"num_edges={self.num_edges}, classes={self.num_classes})")
+
+
+# ----------------------------------------------------------------------
+# Registry — parallel to repro.data's, deliberately separate: a node
+# dataset is not a GraphDataset and must not leak into load_dataset.
+# ----------------------------------------------------------------------
+_NODE_REGISTRY: dict[str, Callable[..., NodeDataset]] = {}
+
+
+def register_node_dataset(name: str):
+    """Decorator registering a node-level generator (case-insensitive)."""
+
+    def decorator(fn: Callable[..., NodeDataset]):
+        _NODE_REGISTRY[name.lower()] = fn
+        return fn
+
+    return decorator
+
+
+def load_node_dataset(name: str, *, seed: int = 0, scale: float = 1.0,
+                      **kwargs) -> NodeDataset:
+    """Instantiate a registered node dataset.
+
+    ``scale`` multiplies the dataset's reference node count (floor 256 so
+    tiny smoke scales still produce a connected, sampleable graph).
+    """
+    key = name.lower()
+    if key not in _NODE_REGISTRY:
+        raise KeyError(f"unknown node dataset {name!r}; "
+                       f"available: {available_node_datasets()}")
+    return _NODE_REGISTRY[key](seed=seed, scale=scale, **kwargs)
+
+
+def available_node_datasets() -> list[str]:
+    return sorted(_NODE_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# community-1m generator
+# ----------------------------------------------------------------------
+def generate_community_graph(*, num_nodes: int, num_communities: int,
+                             num_features: int, num_classes: int,
+                             intra_edges_per_node: float,
+                             inter_edges_per_node: float,
+                             feature_noise: float, label_noise: float,
+                             rng: np.random.Generator
+                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                        np.ndarray]:
+    """Planted-community graph: ``(x, edge_index, y, community)``.
+
+    Nodes occupy contiguous community blocks (node ``i`` belongs to
+    community ``i·C // n``), which keeps partner sampling a pure array
+    operation: an intra-community edge draws a uniform node and a uniform
+    partner from that node's block. Inter-community edges are uniform
+    pairs. Self-loops are dropped, both orientations are emitted, and
+    duplicates are removed with a deterministic sort — so the edge set is
+    a pure function of the rng stream.
+    """
+    n, communities = num_nodes, num_communities
+    community = (np.arange(n, dtype=np.int64) * communities) // n
+    block_start = np.searchsorted(community, np.arange(communities))
+    block_size = np.diff(np.concatenate([block_start, [n]]))
+
+    centroids = rng.normal(0.0, 1.0, size=(communities, num_features))
+    x = centroids[community] + rng.normal(0.0, feature_noise,
+                                          size=(n, num_features))
+
+    y = community % num_classes
+    flip = rng.random(n) < label_noise
+    y = np.where(flip, rng.integers(0, num_classes, size=n), y)
+
+    m_intra = int(round(n * intra_edges_per_node))
+    m_inter = int(round(n * inter_edges_per_node))
+    u_intra = rng.integers(0, n, size=m_intra)
+    blocks = community[u_intra]
+    v_intra = block_start[blocks] + rng.integers(0, block_size[blocks])
+    u_inter = rng.integers(0, n, size=m_inter)
+    v_inter = rng.integers(0, n, size=m_inter)
+
+    src = np.concatenate([u_intra, u_inter])
+    dst = np.concatenate([v_intra, v_inter])
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    # Canonicalise (min, max), dedupe, then emit both orientations.
+    low = np.minimum(src, dst)
+    high = np.maximum(src, dst)
+    flat = np.unique(low * np.int64(n) + high)
+    low, high = flat // n, flat % n
+    edge_index = np.stack([np.concatenate([low, high]),
+                           np.concatenate([high, low])])
+    return x, edge_index, y.astype(np.int64), community
+
+
+@register_node_dataset("community-1m")
+def community_1m(*, seed: int = 0, scale: float = 1.0,
+                 num_features: int = 32, num_classes: int = 16,
+                 feature_noise: float = 1.0,
+                 label_noise: float = 0.05) -> NodeDataset:
+    """The ogbn-products-shaped workload: 10⁶ nodes at ``scale=1.0``.
+
+    Community count grows with the square root of the node count so
+    communities stay a few hundred to a few thousand nodes across scales
+    — large enough that random walks stay inside them, small enough that
+    every scale has many of them.
+    """
+    num_nodes = max(256, int(round(1_000_000 * scale)))
+    num_communities = max(num_classes, int(round(np.sqrt(num_nodes) / 2)))
+    rng = np.random.default_rng(seed)
+    x, edge_index, y, community = generate_community_graph(
+        num_nodes=num_nodes, num_communities=num_communities,
+        num_features=num_features, num_classes=num_classes,
+        intra_edges_per_node=4.0, inter_edges_per_node=1.0,
+        feature_noise=feature_noise, label_noise=label_noise, rng=rng)
+    meta = {"community": community, "num_communities": num_communities,
+            "seed": seed, "scale": scale}
+    return NodeDataset("community-1m", x, edge_index, y, num_classes, meta)

@@ -1,0 +1,102 @@
+"""Per-node embedding serving over the existing graph-level fleet path.
+
+The serving stack (:class:`repro.serve.EmbeddingService`, the sharded
+fleet router) embeds *graphs* and caches by content digest. Rather than
+grow a parallel per-node stack, a node's serving embedding is defined
+PinSAGE-style as the pooled readout of its **deterministic ego-net**:
+
+    ego(v) = induced subgraph on a fanout-bounded breadth-first
+             neighbourhood of v, sampled by ``default_rng(
+             SeedSequence([seed, v]))``
+
+Determinism is the load-bearing property: the ego-net of ``(dataset,
+seed, v)`` is bit-identical across processes and requests, so its graph
+digest is stable and repeated queries for the same node hit the
+service's content-addressed LRU — node ids ride the existing cache,
+micro-batching, failover and canary machinery with zero serving-side
+changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+from ..obs import current
+from .community import NodeDataset
+from .samplers import induced_subgraph
+
+__all__ = ["ego_subgraph", "NodeEmbeddingIndex"]
+
+
+def ego_subgraph(dataset: NodeDataset, node_id: int, *, seed: int = 0,
+                 hops: int = 2, fanout: int = 10) -> Graph:
+    """Deterministic fanout-bounded ego-net of one node.
+
+    Each hop expands every frontier node by ``fanout`` neighbours drawn
+    with replacement from its CSR slice; the subgraph is induced on the
+    union. The rng depends only on ``(seed, node_id)`` — never on query
+    order — which is what keeps the graph digest stable (module docs).
+    ``meta["center"]`` holds the queried node's local row.
+    """
+    node_id = int(node_id)
+    if not 0 <= node_id < dataset.num_nodes:
+        raise IndexError(f"node id {node_id} outside "
+                         f"[0, {dataset.num_nodes})")
+    rng = np.random.default_rng(np.random.SeedSequence([seed, node_id]))
+    csr = dataset.csr()
+    frontier = np.array([node_id], dtype=np.int64)
+    collected = [frontier]
+    for _ in range(hops):
+        degree = csr.indptr[frontier + 1] - csr.indptr[frontier]
+        live = frontier[degree > 0]
+        if live.size == 0:
+            break
+        live_degree = degree[degree > 0]
+        pick = rng.integers(0, live_degree[:, None],
+                            size=(live.size, fanout))
+        frontier = np.unique(csr.indices[csr.indptr[live][:, None] + pick])
+        collected.append(frontier)
+    graph = induced_subgraph(dataset, np.concatenate(collected))
+    graph.meta["center"] = int(np.searchsorted(graph.meta["node_id"],
+                                               node_id))
+    return graph
+
+
+class NodeEmbeddingIndex:
+    """Answer per-node embedding queries through a graph-level service.
+
+    Parameters
+    ----------
+    service:
+        Anything with the :meth:`EmbeddingService.embed` contract —
+        an :class:`~repro.serve.EmbeddingService` or a fleet router.
+    dataset:
+        The node corpus the ids refer to.
+    seed / hops / fanout:
+        Ego-net construction parameters; part of the embedding's
+        identity (changing them changes every digest, i.e. a new
+        logical index).
+    """
+
+    def __init__(self, service, dataset: NodeDataset, *, seed: int = 0,
+                 hops: int = 2, fanout: int = 10):
+        self.service = service
+        self.dataset = dataset
+        self.seed = seed
+        self.hops = hops
+        self.fanout = fanout
+
+    def subgraph(self, node_id: int) -> Graph:
+        """The ego-net a node id resolves to (exposed for inspection)."""
+        return ego_subgraph(self.dataset, node_id, seed=self.seed,
+                            hops=self.hops, fanout=self.fanout)
+
+    def embed_nodes(self, node_ids) -> np.ndarray:
+        """Embeddings for ``node_ids`` (one row per id, request order)."""
+        node_ids = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        if node_ids.size == 0:
+            raise ValueError("embed_nodes() requires at least one node id")
+        with current().span("serve/node_embed"):
+            graphs = [self.subgraph(node_id) for node_id in node_ids]
+            return self.service.embed(graphs)

@@ -1,0 +1,68 @@
+"""GraphDataset label/statistics handling for unlabeled (y=None) graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import make_path, make_triangle
+from repro.data import GraphDataset
+
+
+def _graph(rng, y):
+    graph = make_triangle(rng)
+    graph.y = y
+    return graph
+
+
+def test_labels_all_present_stay_int(rng):
+    dataset = GraphDataset("toy", [_graph(rng, 0), _graph(rng, 1)],
+                           num_classes=2)
+    labels = dataset.labels()
+    assert labels.dtype.kind in "iu"
+    assert np.array_equal(labels, [0, 1])
+
+
+def test_labels_missing_become_nan_rows(rng):
+    dataset = GraphDataset(
+        "toy", [_graph(rng, 1), _graph(rng, None), _graph(rng, 0)],
+        num_classes=2)
+    labels = dataset.labels()
+    assert labels.dtype == np.float64
+    assert labels[0] == 1.0 and labels[2] == 0.0
+    assert np.isnan(labels[1])
+
+
+def test_labels_all_missing_are_all_nan(rng):
+    dataset = GraphDataset("toy", [_graph(rng, None), _graph(rng, None)],
+                           num_classes=2)
+    labels = dataset.labels()
+    assert labels.shape == (2,)
+    assert np.isnan(labels).all()
+
+
+def test_labels_mixed_vector_labels(rng):
+    """Multitask datasets: a y=None graph becomes a NaN-filled row."""
+    dataset = GraphDataset(
+        "toy",
+        [_graph(rng, np.array([1.0, 0.0])), _graph(rng, None)],
+        num_classes=2, task="multitask")
+    labels = dataset.labels()
+    assert labels.shape == (2, 2)
+    assert np.array_equal(labels[0], [1.0, 0.0])
+    assert np.isnan(labels[1]).all()
+
+
+def test_statistics_report_label_coverage(rng):
+    graphs = [_graph(rng, 0), _graph(rng, None), _graph(rng, 1),
+              make_path(rng, 4, y=None)]
+    dataset = GraphDataset("toy", graphs, num_classes=2)
+    stats = dataset.statistics()
+    assert stats["num_graphs"] == 4
+    assert stats["num_labeled"] == 2
+    assert np.isfinite(stats["avg_nodes"])
+
+
+def test_statistics_tolerate_fully_unlabeled_dataset(rng):
+    dataset = GraphDataset("toy", [_graph(rng, None)], num_classes=2)
+    stats = dataset.statistics()
+    assert stats["num_labeled"] == 0

@@ -1,0 +1,59 @@
+"""Node-level linear probe over ego-net embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import embed_nodes, node_linear_probe
+from repro.gnn import GNNEncoder
+from repro.sampling import load_node_dataset
+from repro.serve.service import EmbeddingService
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_node_dataset("community-1m", seed=0, scale=0.0005)
+
+
+@pytest.fixture(scope="module")
+def encoder(dataset):
+    return GNNEncoder(dataset.num_features, 8, 2,
+                      rng=np.random.default_rng(0))
+
+
+def test_embed_nodes_shape_and_determinism(dataset, encoder):
+    node_ids = [3, 17, 42, 3]
+    first = embed_nodes(encoder, dataset, node_ids, seed=1)
+    second = embed_nodes(encoder, dataset, node_ids, seed=1)
+    assert first.shape[0] == 4
+    assert np.array_equal(first, second)
+    assert np.array_equal(first[0], first[3])  # same id, same ego-net
+
+
+def test_embed_nodes_batching_invariant(dataset, encoder):
+    node_ids = list(range(7))
+    small = embed_nodes(encoder, dataset, node_ids, batch_size=2)
+    large = embed_nodes(encoder, dataset, node_ids, batch_size=64)
+    assert np.allclose(small, large, atol=1e-9)
+
+
+def test_embed_nodes_via_service_matches_direct(dataset, encoder):
+    direct = embed_nodes(encoder, dataset, [1, 2, 5])
+    served = embed_nodes(None, dataset, [1, 2, 5],
+                         service=EmbeddingService(encoder))
+    assert np.allclose(direct, served, atol=1e-6)
+
+
+def test_node_linear_probe_returns_sane_metrics(dataset, encoder):
+    result = node_linear_probe(encoder, dataset, num_nodes=60, seed=0)
+    assert set(result) == {"accuracy", "train_accuracy", "num_train",
+                           "num_test"}
+    assert result["num_train"] + result["num_test"] == 60
+    assert 0.0 <= result["accuracy"] <= 1.0
+    assert 0.0 <= result["train_accuracy"] <= 1.0
+
+
+def test_node_linear_probe_validates_fraction(dataset, encoder):
+    with pytest.raises(ValueError):
+        node_linear_probe(encoder, dataset, num_nodes=20, train_fraction=1.5)

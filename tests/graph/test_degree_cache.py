@@ -1,0 +1,46 @@
+"""Lazy degree caches on Graph and Batch (satellite of the sampling PR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _helpers import make_path, make_triangle
+from repro.graph import Batch, Graph
+
+
+def test_graph_degrees_match_bincount(rng):
+    graph = make_path(rng, 5)
+    expected = np.bincount(graph.edge_index[0], minlength=5)
+    assert np.array_equal(graph.degrees(), expected)
+
+
+def test_graph_degrees_cached_and_read_only(rng):
+    graph = make_triangle(rng)
+    degrees = graph.degrees()
+    assert graph.degrees() is degrees  # computed once
+    with pytest.raises(ValueError):
+        degrees[0] = 99.0  # cache cannot be poisoned in place
+
+
+def test_isolated_nodes_have_zero_degree():
+    graph = Graph(np.ones((4, 2)), np.array([[0], [1]]))
+    assert np.array_equal(graph.degrees(), [1.0, 0.0, 0.0, 0.0])
+
+
+def test_batch_degrees_match_batched_bincount(rng):
+    batch = Batch([make_triangle(rng), make_path(rng, 4),
+                   make_triangle(rng)])
+    expected = np.bincount(batch.edge_index[0],
+                           minlength=batch.num_nodes).astype(np.float64)
+    assert np.array_equal(batch.degrees(), expected)
+    assert batch.degrees() is batch.degrees()  # batch-level cache too
+
+
+def test_batch_degrees_reuse_member_caches(rng):
+    graphs = [make_triangle(rng), make_path(rng, 3)]
+    member = [g.degrees() for g in graphs]  # warm the per-graph caches
+    batch = Batch(graphs)
+    assert np.array_equal(batch.degrees(), np.concatenate(member))
+    for graph, cached in zip(graphs, member):
+        assert graph.degrees() is cached  # batching did not recompute

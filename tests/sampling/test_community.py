@@ -1,0 +1,103 @@
+"""Node-dataset registry and the community-1m generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling import (
+    CSRAdjacency,
+    available_node_datasets,
+    load_node_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_node_dataset("community-1m", seed=0, scale=0.001)
+
+
+def test_registry_lists_community_1m():
+    assert "community-1m" in available_node_datasets()
+    with pytest.raises(KeyError):
+        load_node_dataset("no-such-dataset")
+
+
+def test_scale_controls_node_count():
+    small = load_node_dataset("community-1m", seed=0, scale=0.0005)
+    assert small.num_nodes == 500
+    floor = load_node_dataset("community-1m", seed=0, scale=1e-9)
+    assert floor.num_nodes == 256  # floor keeps tiny scales sampleable
+
+
+def test_generation_is_seed_deterministic():
+    a = load_node_dataset("community-1m", seed=3, scale=0.0005)
+    b = load_node_dataset("community-1m", seed=3, scale=0.0005)
+    c = load_node_dataset("community-1m", seed=4, scale=0.0005)
+    assert np.array_equal(a.x, b.x)
+    assert np.array_equal(a.edge_index, b.edge_index)
+    assert np.array_equal(a.y, b.y)
+    assert not np.array_equal(a.edge_index, c.edge_index)
+
+
+def test_graph_invariants(dataset):
+    src, dst = dataset.edge_index
+    assert src.min() >= 0 and src.max() < dataset.num_nodes
+    assert (src != dst).all()  # no self-loops
+    # Undirected: both orientations present, each exactly once.
+    n = dataset.num_nodes
+    forward = np.sort(src * n + dst)
+    backward = np.sort(dst * n + src)
+    assert np.array_equal(forward, backward)
+    assert len(np.unique(forward)) == len(forward)
+
+
+def test_labels_follow_planted_communities(dataset):
+    community = dataset.meta["community"]
+    expected = community % dataset.num_classes
+    agreement = (dataset.y == expected).mean()
+    assert agreement > 0.9  # 5% label noise, a little flips back by chance
+    assert dataset.y.min() >= 0 and dataset.y.max() < dataset.num_classes
+
+
+def test_intra_community_edges_dominate(dataset):
+    community = dataset.meta["community"]
+    src, dst = dataset.edge_index
+    intra = (community[src] == community[dst]).mean()
+    assert intra > 0.6  # 4:1 intra:inter before dedup
+
+
+def test_csr_matches_edge_index(dataset):
+    csr = dataset.csr()
+    assert csr is dataset.csr()  # cached
+    assert csr.num_edges == dataset.num_edges
+    degrees = np.bincount(dataset.edge_index[0],
+                          minlength=dataset.num_nodes)
+    assert np.array_equal(csr.degrees(), degrees)
+    for node in (0, 7, dataset.num_nodes - 1):
+        expected = np.sort(
+            dataset.edge_index[1][dataset.edge_index[0] == node])
+        assert np.array_equal(np.sort(csr.neighbors(node)), expected)
+
+
+def test_csr_neighborhood_vectorised(dataset):
+    csr = dataset.csr()
+    nodes = np.array([3, 10, 500])
+    src_pos, dst = csr.neighborhood(nodes)
+    for i, node in enumerate(nodes):
+        assert np.array_equal(dst[src_pos == i], csr.neighbors(node))
+
+
+def test_csr_empty_graph():
+    csr = CSRAdjacency.from_edge_index(np.zeros((2, 0), dtype=np.int64), 5)
+    assert csr.num_nodes == 5 and csr.num_edges == 0
+    assert np.array_equal(csr.degrees(), np.zeros(5, dtype=np.int64))
+    src_pos, dst = csr.neighborhood(np.array([0, 4]))
+    assert len(src_pos) == 0 and len(dst) == 0
+
+
+def test_as_graph_round_trip(dataset):
+    graph = dataset.as_graph()
+    assert graph.num_nodes == dataset.num_nodes
+    assert graph.y is None
+    assert np.array_equal(graph.meta["node_y"], dataset.y)

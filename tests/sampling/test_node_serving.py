@@ -1,0 +1,84 @@
+"""Per-node serving: deterministic ego-nets riding the digest cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn import GNNEncoder
+from repro.graph import Batch
+from repro.sampling import NodeEmbeddingIndex, ego_subgraph, load_node_dataset
+from repro.serve.service import EmbeddingService, graph_digest
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_node_dataset("community-1m", seed=0, scale=0.0005)
+
+
+@pytest.fixture()
+def encoder(dataset):
+    return GNNEncoder(dataset.num_features, 8, 2,
+                      rng=np.random.default_rng(0))
+
+
+def test_ego_subgraph_contains_center(dataset):
+    graph = ego_subgraph(dataset, 42, seed=0)
+    node_id = graph.meta["node_id"]
+    center = graph.meta["center"]
+    assert node_id[center] == 42
+    assert graph.num_nodes >= 1
+    assert np.array_equal(graph.x, dataset.x[node_id])
+
+
+def test_ego_subgraph_is_deterministic(dataset):
+    a = ego_subgraph(dataset, 7, seed=3)
+    b = ego_subgraph(dataset, 7, seed=3)
+    assert np.array_equal(a.meta["node_id"], b.meta["node_id"])
+    assert np.array_equal(a.edge_index, b.edge_index)
+    assert graph_digest(a) == graph_digest(b)  # stable digest = cacheable
+    different_seed = ego_subgraph(dataset, 7, seed=4)
+    assert graph_digest(a) != graph_digest(different_seed)
+
+
+def test_ego_subgraph_validates_node_id(dataset):
+    with pytest.raises(IndexError):
+        ego_subgraph(dataset, dataset.num_nodes)
+    with pytest.raises(IndexError):
+        ego_subgraph(dataset, -1)
+
+
+def test_fanout_bounds_growth(dataset):
+    small = ego_subgraph(dataset, 0, seed=0, hops=1, fanout=2)
+    large = ego_subgraph(dataset, 0, seed=0, hops=2, fanout=10)
+    assert small.num_nodes <= 1 + 2
+    assert large.num_nodes >= small.num_nodes
+
+
+def test_embed_nodes_matches_direct_encoder(dataset, encoder):
+    index = NodeEmbeddingIndex(EmbeddingService(encoder), dataset, seed=0)
+    node_ids = [0, 5, 11]
+    served = index.embed_nodes(node_ids)
+    assert served.shape[0] == 3
+    batch = Batch([index.subgraph(node) for node in node_ids])
+    encoder.eval()
+    direct = encoder.graph_representations(batch).data
+    assert np.allclose(served, direct, atol=1e-6)
+
+
+def test_repeat_queries_hit_the_digest_cache(dataset, encoder):
+    service = EmbeddingService(encoder)
+    index = NodeEmbeddingIndex(service, dataset, seed=0)
+    first = index.embed_nodes([1, 2, 3])
+    assert service.stats()["cache"]["hits"] == 0
+    second = index.embed_nodes([1, 2, 3])
+    assert np.array_equal(first, second)
+    stats = service.stats()["cache"]
+    assert stats["hits"] == 3  # same ego-nets ⇒ same digests ⇒ all hits
+    assert stats["misses"] == 3
+
+
+def test_embed_nodes_rejects_empty(dataset, encoder):
+    index = NodeEmbeddingIndex(EmbeddingService(encoder), dataset)
+    with pytest.raises(ValueError):
+        index.embed_nodes([])
