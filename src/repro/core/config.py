@@ -75,6 +75,14 @@ class SGCLConfig:
     # unchanged, so this is a pure wall-time knob.
     prefetch_batches: int = 0
 
+    # Where SGCLTrainer.precompute_lipschitz keeps its content-addressed
+    # K_V cache (repro.runtime.PrecomputeCache) when the caller does not
+    # hand one in. Relative paths resolve against the working directory;
+    # None disables the default cache (callers can still pass their own).
+    # Cache keys pin graph content + generator parameters, so a stale hit
+    # is impossible; this is a pure wall-time knob.
+    precompute_cache_dir: str | None = ".repro_cache/precompute"
+
     # Numerical guard rails (repro.validate.NumericsGuard). What to do
     # when a batch produces a NaN/Inf loss component or gradient norm:
     # "raise" aborts, "skip" drops the batch (counted under

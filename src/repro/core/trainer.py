@@ -219,17 +219,30 @@ class SGCLTrainer:
                              workers: int | None = None,
                              cache=None) -> list[np.ndarray]:
         """Per-node ``K_V`` of every graph under the current (frozen)
-        generator, fanned out over worker processes and optionally served
-        from a :class:`repro.runtime.PrecomputeCache`.
+        generator, fanned out over worker processes and served from a
+        :class:`repro.runtime.PrecomputeCache` by default.
+
+        ``cache=None`` (the default) opens the cache at
+        ``config.precompute_cache_dir`` — repeated sweeps over the same
+        corpus with unchanged generator parameters become pure cache reads.
+        Pass a :class:`~repro.runtime.PrecomputeCache` to use a specific
+        location, or ``cache=False`` to force recomputation without one.
 
         Bit-identical to ``generator.node_constants(Batch([g]))`` graph by
-        graph — parallelism and caching change wall-time, never numbers.
-        Used by diagnostics (``repro inspect``, Fig. 7) that sweep a corpus
-        with fixed parameters; during pre-training the constants of course
-        evolve with ``f_q`` and are computed per batch as before.
+        graph — parallelism and caching change wall-time, never numbers
+        (cache keys pin graph content plus the generator's mode and
+        parameter hash, so a stale hit is impossible). Used by diagnostics
+        (``repro inspect``, Fig. 7) that sweep a corpus with fixed
+        parameters; during pre-training the constants of course evolve
+        with ``f_q`` and are computed per batch as before.
         """
-        from ..runtime import precompute_node_constants
+        from ..runtime import PrecomputeCache, precompute_node_constants
 
+        if cache is None and self.config.precompute_cache_dir:
+            cache = PrecomputeCache(
+                Path(self.config.precompute_cache_dir).expanduser())
+        elif cache is False:
+            cache = None
         return precompute_node_constants(self.model.generator, graphs,
                                          workers=workers, cache=cache)
 

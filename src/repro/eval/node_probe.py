@@ -65,6 +65,16 @@ def node_linear_probe(encoder, dataset, *, num_nodes: int = 1000,
     rng = np.random.default_rng(seed)
     num_nodes = min(num_nodes, dataset.num_nodes)
     chosen = rng.choice(dataset.num_nodes, size=num_nodes, replace=False)
+    # Unlabeled nodes (NaN label) can't supervise or score the probe;
+    # drop them before splitting so both halves are fully labeled.
+    chosen_labels = np.asarray(dataset.y[chosen], dtype=np.float64)
+    finite = np.isfinite(chosen_labels)
+    if not finite.all():
+        chosen = chosen[finite]
+        num_nodes = len(chosen)
+        if num_nodes < 2:
+            raise ValueError("fewer than 2 labeled nodes drawn; "
+                             "cannot fit the probe")
     split = max(1, int(round(num_nodes * train_fraction)))
     split = min(split, num_nodes - 1)
     train_ids, test_ids = chosen[:split], chosen[split:]

@@ -217,8 +217,17 @@ def finetune_classifier(encoder: GNNEncoder, dataset: GraphDataset,
     for _ in range(epochs):
         encoder.train()
         for batch in DataLoader(train_graphs, batch_size, shuffle=True, rng=rng):
+            # Unlabeled graphs (y=None → NaN label) carry no supervision;
+            # drop their rows before the loss — cross_entropy rejects
+            # non-finite targets rather than int-casting NaN to garbage.
+            labels_f, valid = _finite_labels(batch)
+            if not valid.any():
+                continue
             logits = head(encoder.graph_representations(batch))
-            loss = cross_entropy(logits, batch.labels().astype(np.int64))
+            if not valid.all():
+                rows = np.flatnonzero(valid)
+                logits, labels_f = logits[rows], labels_f[rows]
+            loss = cross_entropy(logits, labels_f.astype(np.int64))
             optimizer.zero_grad()
             loss.backward()
             optimizer.step()
@@ -226,10 +235,22 @@ def finetune_classifier(encoder: GNNEncoder, dataset: GraphDataset,
     predictions, labels = [], []
     with no_grad():
         for batch in DataLoader([dataset[i] for i in test_idx], 128):
+            labels_f, valid = _finite_labels(batch)
+            if not valid.any():
+                continue
             logits = head(encoder.graph_representations(batch))
-            predictions.append(np.argmax(logits.data, axis=1))
-            labels.append(batch.labels().astype(np.int64))
+            rows = np.flatnonzero(valid)
+            predictions.append(np.argmax(logits.data[rows], axis=1))
+            labels.append(labels_f[rows].astype(np.int64))
     encoder.train()
     score = accuracy(np.concatenate(labels), np.concatenate(predictions))
     _restore([encoder], saved)
     return score
+
+
+def _finite_labels(batch) -> tuple[np.ndarray, np.ndarray]:
+    """Batch labels as float plus a finite-row (labeled) mask."""
+    labels = np.asarray(batch.labels())
+    if labels.dtype.kind not in "fc":
+        labels = labels.astype(np.float64)
+    return labels, np.isfinite(labels)

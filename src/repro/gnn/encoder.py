@@ -103,12 +103,18 @@ class GNNEncoder(Module):
 
     def node_representations(self, x: Tensor, edge_index: np.ndarray,
                              num_nodes: int,
-                             node_weight: Tensor | None = None) -> Tensor:
-        """Run the conv stack; ``node_weight`` is the Eq. 14 mask/soft weight."""
+                             node_weight: Tensor | None = None,
+                             workspace=None) -> Tensor:
+        """Run the conv stack; ``node_weight`` is the Eq. 14 mask/soft weight.
+
+        ``workspace`` (cached scatter plans for this topology) is shared by
+        all layers; see :meth:`repro.graph.Batch.workspace`.
+        """
         layer_outputs = []
         h = x
         for conv in self.convs:
-            h = conv(h, edge_index, num_nodes, node_weight=node_weight)
+            h = conv(h, edge_index, num_nodes, node_weight=node_weight,
+                     workspace=workspace)
             layer_outputs.append(h)
         if self.jk == "cat":
             return concatenate(layer_outputs, axis=1)
@@ -118,7 +124,8 @@ class GNNEncoder(Module):
         """Node representations for a batch (Tensor of shape ``(N, out_dim)``)."""
         return self.node_representations(Tensor(batch.x), batch.edge_index,
                                          batch.num_nodes,
-                                         node_weight=node_weight)
+                                         node_weight=node_weight,
+                                         workspace=batch.workspace())
 
     def graph_representations(self, batch: Batch,
                               node_weight: Tensor | None = None,
@@ -129,11 +136,12 @@ class GNNEncoder(Module):
         Eq. 21's semantic-score readout.
         """
         nodes = self.forward(batch, node_weight=node_weight)
+        pool_plan = batch.workspace().pool_plan()
         if pool_weights is not None:
             return weighted_sum_pool(nodes, pool_weights, batch.node_graph,
-                                     batch.num_graphs)
+                                     batch.num_graphs, plan=pool_plan)
         pool = POOLING_TYPES[self.pooling_name]
-        return pool(nodes, batch.node_graph, batch.num_graphs)
+        return pool(nodes, batch.node_graph, batch.num_graphs, plan=pool_plan)
 
 
 class ProjectionHead(Module):

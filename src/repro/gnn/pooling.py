@@ -15,28 +15,31 @@ __all__ = [
 ]
 
 
-def global_sum_pool(x: Tensor, node_graph: np.ndarray, num_graphs: int) -> Tensor:
+def global_sum_pool(x: Tensor, node_graph: np.ndarray, num_graphs: int, *,
+                    plan=None) -> Tensor:
     """Sum node representations per graph — SGCL's default readout."""
-    return segment_sum(x, node_graph, num_graphs)
+    return segment_sum(x, node_graph, num_graphs, plan=plan)
 
 
-def global_mean_pool(x: Tensor, node_graph: np.ndarray, num_graphs: int) -> Tensor:
-    return segment_mean(x, node_graph, num_graphs)
+def global_mean_pool(x: Tensor, node_graph: np.ndarray, num_graphs: int, *,
+                     plan=None) -> Tensor:
+    return segment_mean(x, node_graph, num_graphs, plan=plan)
 
 
-def global_max_pool(x: Tensor, node_graph: np.ndarray, num_graphs: int) -> Tensor:
-    return segment_max(x, node_graph, num_graphs)
+def global_max_pool(x: Tensor, node_graph: np.ndarray, num_graphs: int, *,
+                    plan=None) -> Tensor:
+    return segment_max(x, node_graph, num_graphs, plan=plan)
 
 
 def weighted_sum_pool(x: Tensor, weights: Tensor, node_graph: np.ndarray,
-                      num_graphs: int) -> Tensor:
+                      num_graphs: int, *, plan=None) -> Tensor:
     """Sum pooling with per-node scalar weights.
 
     Implements Eq. 21's ``Pooling(f_k(H, A) ⊙ K_V)``: node representations are
     scaled by their (Lipschitz-constant) semantic scores before pooling.
     """
     weighted = x * weights.reshape(len(weights), 1)
-    return segment_sum(weighted, node_graph, num_graphs)
+    return segment_sum(weighted, node_graph, num_graphs, plan=plan)
 
 
 POOLING_TYPES = {

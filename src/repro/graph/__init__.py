@@ -2,6 +2,7 @@
 
 from .graph import Graph
 from .batch import Batch
+from .workspace import MessagePassingWorkspace
 from .transforms import (
     add_self_loops,
     constant_features,
@@ -13,6 +14,7 @@ from .transforms import (
 __all__ = [
     "Graph",
     "Batch",
+    "MessagePassingWorkspace",
     "add_self_loops",
     "one_hot",
     "degree_features",

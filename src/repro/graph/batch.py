@@ -20,7 +20,7 @@ class Batch:
     """A batch of graphs as one big disconnected graph."""
 
     __slots__ = ("x", "edge_index", "node_graph", "num_graphs", "node_offsets",
-                 "graphs", "ys", "_degrees")
+                 "graphs", "ys", "_degrees", "_workspace")
 
     def __init__(self, graphs: Sequence[Graph]):
         if not graphs:
@@ -37,6 +37,7 @@ class Batch:
         self.node_graph = np.repeat(np.arange(self.num_graphs), sizes)
         self.ys = [g.y for g in graphs]
         self._degrees: np.ndarray | None = None
+        self._workspace = None
 
     # ------------------------------------------------------------------
     @property
@@ -68,6 +69,21 @@ class Batch:
             self._degrees = np.concatenate(
                 [g.degrees() for g in self.graphs])
         return self._degrees
+
+    def workspace(self):
+        """Cached :class:`~repro.graph.workspace.MessagePassingWorkspace`.
+
+        Built lazily on first use and reused by every encoder pass (any
+        layer, any epoch, forward or backward) over this batch — the
+        scatter plans, self-looped edge index and GCN normalisation
+        weights depend only on the batch topology, which is immutable.
+        """
+        if self._workspace is None:
+            from .workspace import MessagePassingWorkspace
+            self._workspace = MessagePassingWorkspace(
+                self.edge_index, self.num_nodes,
+                node_graph=self.node_graph, num_graphs=self.num_graphs)
+        return self._workspace
 
     def labels(self) -> np.ndarray:
         """Stack graph labels into an array (int or float matrix)."""

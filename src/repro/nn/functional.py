@@ -16,8 +16,20 @@ __all__ = [
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
-    """Mean cross-entropy of integer ``targets`` under row-wise ``logits``."""
-    targets = np.asarray(targets, dtype=np.int64)
+    """Mean cross-entropy of integer ``targets`` under row-wise ``logits``.
+
+    ``targets`` must be finite: an unlabeled row (NaN label, as
+    ``GraphDataset.labels()`` produces for ``y=None`` graphs) would
+    otherwise be cast to an arbitrary garbage class index by the int64
+    conversion. Callers must filter unlabeled rows first.
+    """
+    targets = np.asarray(targets)
+    if targets.dtype.kind == "f" and not np.isfinite(targets).all():
+        raise ValueError(
+            "cross_entropy received non-finite targets (unlabeled rows?); "
+            "filter them out before computing the loss — int casting would "
+            "silently turn NaN into a garbage class index")
+    targets = targets.astype(np.int64)
     log_probs = logits.log_softmax(axis=-1)
     rows = np.arange(len(targets))
     picked = log_probs[(rows, targets)]
@@ -30,12 +42,18 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets,
     missing entries, as in MoleculeNet-style datasets).
 
     ``loss = softplus(x) - x*y`` elementwise; masked mean over valid entries.
+    Masked-out target entries are zero-filled *before* the ``x*y`` product:
+    missing labels are stored as NaN, and ``0 * NaN`` is NaN, so computing
+    the product first would poison the loss (and every gradient) even
+    though the mask later zeroes the entry's weight.
     """
     targets = as_tensor(targets)
-    elementwise = logits.softplus() - logits * targets
     if mask is None:
+        elementwise = logits.softplus() - logits * targets
         return elementwise.mean()
     mask = np.asarray(mask, dtype=np.float64)
+    safe_targets = Tensor(np.where(mask > 0, targets.data, 0.0))
+    elementwise = logits.softplus() - logits * safe_targets
     valid = max(mask.sum(), 1.0)
     return (elementwise * Tensor(mask)).sum() * (1.0 / valid)
 

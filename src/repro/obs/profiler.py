@@ -270,7 +270,7 @@ class OpProfiler:
     def records(self) -> list[OpRecord]:
         """All accumulated op records, plus per-span ``(other)`` residuals.
 
-        The residual rows charge each *completed* span's self time not
+        The residual rows charge each completed span path's self time not
         covered by op self time to a pseudo-op named ``(other)`` — Python
         glue, data loading, numpy work outside the op layer. With them the
         table accounts for (approximately) the whole wall time of the
@@ -289,20 +289,31 @@ class OpProfiler:
         for record in self._records.values():
             op_self[record.span_path] = (op_self.get(record.span_path, 0.0)
                                          + record.self_s)
-        residuals = []
+        # Span self seconds aggregated over every *instance* of a path —
+        # a per-batch span like ``pretrain/loss`` opens once per batch, and
+        # its glue time only adds up across instances. (Subtracting the
+        # path-aggregated op time from each instance separately, as an
+        # earlier version did, floors repeated spans to zero and leaves
+        # their glue unattributed.)
+        span_self: dict[tuple, float] = {}
+        span_calls: dict[tuple, int] = {}
         walk = [(root, ()) for root in observer.tracer.roots]
         while walk:
             span, prefix = walk.pop()
             path = prefix + (span.name,)
             if span.end is not None:
-                leftover = span.self_seconds - op_self.get(path, 0.0)
-                if leftover > 0.0:
-                    record = OpRecord(path, "(other)")
-                    record.calls = 1
-                    record.self_s = leftover
-                    record.cum_s = leftover
-                    residuals.append(record)
+                span_self[path] = span_self.get(path, 0.0) + span.self_seconds
+                span_calls[path] = span_calls.get(path, 0) + 1
             walk.extend((child, path) for child in span.children)
+        residuals = []
+        for path, seconds in span_self.items():
+            leftover = seconds - op_self.get(path, 0.0)
+            if leftover > 0.0:
+                record = OpRecord(path, "(other)")
+                record.calls = span_calls[path]
+                record.self_s = leftover
+                record.cum_s = leftover
+                residuals.append(record)
         return residuals
 
     def _record_metrics(self) -> None:

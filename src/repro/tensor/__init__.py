@@ -10,6 +10,7 @@ from .tensor import (
     where,
 )
 from .segment import (
+    ScatterPlan,
     gather,
     segment_count,
     segment_max,
@@ -26,6 +27,7 @@ __all__ = [
     "where",
     "no_grad",
     "is_grad_enabled",
+    "ScatterPlan",
     "gather",
     "segment_sum",
     "segment_mean",

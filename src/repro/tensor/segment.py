@@ -10,6 +10,16 @@ Conventions
 * ``index`` arrays are 1-D ``int64`` ndarrays.
 * ``num_segments`` must be passed explicitly (it may exceed ``index.max()+1``
   when a batch contains empty graphs).
+
+Kernel strategy
+---------------
+Scatter-adds run through ``np.bincount`` on a flattened ``(row, column)``
+index rather than ``np.add.at``. Both accumulate bins in input order, so
+results are bit-identical, but ``bincount`` avoids ``add.at``'s generic
+buffered-ufunc path (~6× faster at message-passing sizes on this box).
+The flattened index depends only on ``(index, feature_width)``, so a
+:class:`ScatterPlan` caches it — one plan per (edge set, direction) serves
+every layer, epoch, and backward pass that routes over those edges.
 """
 
 from __future__ import annotations
@@ -19,6 +29,7 @@ import numpy as np
 from .tensor import Tensor, as_tensor
 
 __all__ = [
+    "ScatterPlan",
     "gather",
     "segment_sum",
     "segment_mean",
@@ -35,20 +46,92 @@ def _check_index(index: np.ndarray) -> np.ndarray:
     return index.astype(np.int64, copy=False)
 
 
-def gather(values: Tensor, index: np.ndarray) -> Tensor:
-    """Select rows ``values[index]``; gradient scatter-adds back."""
-    values = as_tensor(values)
-    index = _check_index(index)
+def _bincount_rows(flat: np.ndarray, values: np.ndarray,
+                   length: int) -> np.ndarray:
+    out = np.bincount(flat, weights=values.reshape(-1), minlength=length)
+    if out.shape[0] != length:
+        raise IndexError("segment index out of range for num_segments")
+    return out
 
-    def backward(out: Tensor) -> None:
-        grad = np.zeros_like(values.data, dtype=np.float64)
-        np.add.at(grad, index, out.grad)
-        values._accumulate(grad)
+
+class ScatterPlan:
+    """Reusable scatter-add recipe for one (index, num_segments) routing.
+
+    Precomputes (lazily, per feature width) the flattened bin index that
+    turns an N-D row scatter into a single 1-D ``np.bincount``, and caches
+    segment counts. Build one per edge direction on a batch and thread it
+    through :func:`gather` / :func:`segment_sum` / :func:`segment_softmax`
+    — forward and backward passes then skip all index arithmetic.
+    """
+
+    __slots__ = ("index", "num_segments", "_flat", "_counts")
+
+    def __init__(self, index: np.ndarray, num_segments: int):
+        self.index = _check_index(index)
+        self.num_segments = int(num_segments)
+        self._flat: dict[int, np.ndarray] = {}
+        self._counts: np.ndarray | None = None
+
+    def flat_index(self, width: int) -> np.ndarray:
+        flat = self._flat.get(width)
+        if flat is None:
+            flat = (self.index[:, None] * width
+                    + np.arange(width, dtype=np.int64)).ravel()
+            self._flat[width] = flat
+        return flat
+
+    def counts(self) -> np.ndarray:
+        if self._counts is None:
+            self._counts = np.bincount(
+                self.index, minlength=self.num_segments).astype(np.float64)
+        return self._counts
+
+    def scatter_sum(self, values: np.ndarray) -> np.ndarray:
+        """Sum ``values`` rows into ``num_segments`` bins (fresh float64)."""
+        if values.ndim == 1:
+            return _bincount_rows(self.index, values, self.num_segments)
+        width = int(np.prod(values.shape[1:]))
+        out = _bincount_rows(self.flat_index(width), values,
+                             self.num_segments * width)
+        return out.reshape((self.num_segments,) + values.shape[1:])
+
+
+def _scatter_sum(values: np.ndarray, index: np.ndarray,
+                 num_segments: int) -> np.ndarray:
+    """Plan-less scatter-add (flat index built on the fly)."""
+    if values.ndim == 1:
+        return _bincount_rows(index, values, num_segments)
+    width = int(np.prod(values.shape[1:]))
+    flat = (index[:, None] * width + np.arange(width, dtype=np.int64)).ravel()
+    out = _bincount_rows(flat, values, num_segments * width)
+    return out.reshape((num_segments,) + values.shape[1:])
+
+
+def gather(values: Tensor, index: np.ndarray, *,
+           plan: ScatterPlan | None = None) -> Tensor:
+    """Select rows ``values[index]``; gradient scatter-adds back.
+
+    ``plan`` (if given) must route ``index`` into ``len(values)`` segments;
+    the backward scatter then reuses its cached flat index.
+    """
+    values = as_tensor(values)
+    if plan is not None:
+        index = plan.index
+
+        def backward(out: Tensor) -> None:
+            values._accumulate(plan.scatter_sum(out.grad), own=True)
+    else:
+        index = _check_index(index)
+
+        def backward(out: Tensor) -> None:
+            values._accumulate(
+                _scatter_sum(out.grad, index, len(values.data)), own=True)
 
     return Tensor._make(values.data[index], (values,), backward)
 
 
-def segment_sum(values: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(values: Tensor, index: np.ndarray, num_segments: int, *,
+                plan: ScatterPlan | None = None) -> Tensor:
     """Sum rows of ``values`` into ``num_segments`` buckets given by ``index``.
 
     ``out[s] = sum_{i : index[i] == s} values[i]`` — the core aggregation of
@@ -56,13 +139,15 @@ def segment_sum(values: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     (nodes → graphs).
     """
     values = as_tensor(values)
-    index = _check_index(index)
-    out_shape = (num_segments,) + values.shape[1:]
-    data = np.zeros(out_shape, dtype=np.float64)
-    np.add.at(data, index, values.data)
+    if plan is not None:
+        index = plan.index
+        data = plan.scatter_sum(values.data)
+    else:
+        index = _check_index(index)
+        data = _scatter_sum(values.data, index, num_segments)
 
     def backward(out: Tensor) -> None:
-        values._accumulate(out.grad[index])
+        values._accumulate(out.grad[index], own=True)
 
     return Tensor._make(data, (values,), backward)
 
@@ -73,23 +158,27 @@ def segment_count(index: np.ndarray, num_segments: int) -> np.ndarray:
     return np.bincount(index, minlength=num_segments).astype(np.float64)
 
 
-def segment_mean(values: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(values: Tensor, index: np.ndarray, num_segments: int, *,
+                 plan: ScatterPlan | None = None) -> Tensor:
     """Mean-aggregate rows per segment; empty segments yield zeros."""
-    totals = segment_sum(values, index, num_segments)
-    counts = np.maximum(segment_count(index, num_segments), 1.0)
+    totals = segment_sum(values, index, num_segments, plan=plan)
+    counts = plan.counts() if plan is not None \
+        else segment_count(index, num_segments)
+    counts = np.maximum(counts, 1.0)
     return totals * Tensor(1.0 / counts).reshape(
         (num_segments,) + (1,) * (totals.ndim - 1))
 
 
 def segment_max(values: Tensor, index: np.ndarray, num_segments: int,
-                fill: float = 0.0) -> Tensor:
+                fill: float = 0.0, *,
+                plan: ScatterPlan | None = None) -> Tensor:
     """Max-aggregate rows per segment.
 
     Empty segments are filled with ``fill``. Gradient flows to the (first)
     argmax element per segment/feature, matching scatter-max semantics.
     """
     values = as_tensor(values)
-    index = _check_index(index)
+    index = plan.index if plan is not None else _check_index(index)
     out_shape = (num_segments,) + values.shape[1:]
     data = np.full(out_shape, -np.inf, dtype=np.float64)
     np.maximum.at(data, index, values.data)
@@ -99,29 +188,36 @@ def segment_max(values: Tensor, index: np.ndarray, num_segments: int,
     def backward(out: Tensor) -> None:
         # Route gradient to entries equal to their segment max; split ties.
         winners = (values.data == data[index]) & ~empty[index]
-        tie_counts = np.zeros(out_shape, dtype=np.float64)
-        np.add.at(tie_counts, index, winners.astype(np.float64))
+        winner_weights = winners.astype(np.float64)
+        if plan is not None:
+            tie_counts = plan.scatter_sum(winner_weights)
+        else:
+            tie_counts = _scatter_sum(winner_weights, index, num_segments)
         tie_counts = np.maximum(tie_counts, 1.0)
         grad = np.where(winners, out.grad[index] / tie_counts[index], 0.0)
-        values._accumulate(grad)
+        values._accumulate(grad, own=True)
 
     return Tensor._make(data, (values,), backward)
 
 
-def segment_softmax(values: Tensor, index: np.ndarray,
-                    num_segments: int) -> Tensor:
+def segment_softmax(values: Tensor, index: np.ndarray, num_segments: int, *,
+                    plan: ScatterPlan | None = None) -> Tensor:
     """Softmax over groups of rows sharing the same segment (GAT attention).
 
     Implemented as a composition of differentiable primitives, so it needs no
-    bespoke vjp: ``softmax_i = exp(v_i - max_seg) / sum_seg exp(...)``.
+    bespoke vjp: ``softmax_i = exp(v_i - max_seg) / sum_seg exp(...)``. After
+    the max shift every non-empty segment's denominator includes an exp(0)=1
+    term, so no epsilon is needed and rows sum to exactly 1 (matching
+    ``Tensor.softmax``).
     """
     values = as_tensor(values)
-    index = _check_index(index)
-    seg_max = segment_max(values, index, num_segments, fill=0.0)
-    shifted = values - gather(seg_max, index)
+    index = plan.index if plan is not None else _check_index(index)
+    seg_max = segment_max(values, index, num_segments, fill=0.0, plan=plan)
+    shifted = values - gather(seg_max, index, plan=plan)
     exps = shifted.exp()
-    denom = gather(segment_sum(exps, index, num_segments), index)
-    return exps / (denom + 1e-16)
+    denom = gather(segment_sum(exps, index, num_segments, plan=plan),
+                   index, plan=plan)
+    return exps / denom
 
 
 # ----------------------------------------------------------------------

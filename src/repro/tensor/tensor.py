@@ -9,13 +9,23 @@ uses.
 Design notes
 ------------
 * The tape is implicit: each ``Tensor`` produced by an op keeps references to
-  its parents and a ``_backward`` closure that accumulates gradients into
-  them. ``Tensor.backward`` topologically sorts the graph and runs closures
+  its parents and a ``_backward`` vjp that accumulates gradients into
+  them. ``Tensor.backward`` topologically sorts the graph and runs vjps
   in reverse order.
 * Gradients are plain ``numpy`` arrays stored on ``Tensor.grad``.
 * Broadcasting follows numpy semantics; ``_unbroadcast`` reduces gradients
   back to the parent's shape.
 * A module-level switch (:func:`no_grad`) disables taping for inference.
+* ``backward`` is *consuming*: it releases each visited node's vjp,
+  parent references and intermediate (non-leaf) gradient buffer as soon as
+  they have been used, so a training step holds no tape garbage after the
+  pass. A second ``backward`` on the same tape raises instead of silently
+  double-accumulating (pass ``retain_graph=True`` to opt back into the
+  re-runnable-tape behaviour, in which gradients accumulate across calls).
+* Vjps donate freshly allocated arrays to :meth:`Tensor._accumulate`
+  (``own=True``), which then adopts the buffer instead of copying into a
+  zero-initialised one — the backward pass allocates roughly half as many
+  arrays as a naive implementation.
 """
 
 from __future__ import annotations
@@ -81,7 +91,8 @@ class Tensor:
         Whether gradients should be accumulated for this leaf.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_consumed")
 
     def __init__(self, data, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -92,8 +103,9 @@ class Tensor:
         self.data: np.ndarray = arr
         self.grad: np.ndarray | None = None
         self.requires_grad: bool = bool(requires_grad)
-        self._backward: Callable[[], None] | None = None
+        self._backward: Callable[["Tensor"], None] | None = None
         self._parents: tuple["Tensor", ...] = ()
+        self._consumed: bool = False
 
     # ------------------------------------------------------------------
     # Basic introspection
@@ -146,25 +158,50 @@ class Tensor:
         out = Tensor(data, requires_grad=requires)
         if requires and backward is not None:
             out._parents = tuple(parents)
-            out._backward = lambda: backward(out)
+            out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (allocating on first touch)."""
+    def _accumulate(self, grad: np.ndarray, own: bool = False) -> None:
+        """Add ``grad`` into ``self.grad`` (allocating on first touch).
+
+        ``own=True`` promises that ``grad`` is a freshly allocated float64
+        array the caller will not touch again, letting the first
+        accumulation adopt the buffer instead of copying it. Vjps in this
+        module use it for every gradient they materialise themselves;
+        pass-through gradients (views of ``out.grad``) keep ``own=False``.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.zeros_like(self.data, dtype=np.float64)
-        self.grad += grad
+            if grad.shape != self.data.shape:
+                grad = np.broadcast_to(grad, self.data.shape)
+                own = False
+            self.grad = grad if own else np.array(grad, dtype=np.float64)
+        else:
+            self.grad += grad
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None, *,
+                 retain_graph: bool = False) -> None:
         """Backpropagate from this tensor through the recorded tape.
 
         Parameters
         ----------
         grad:
             Seed gradient; defaults to ones (scalar outputs may omit it).
+        retain_graph:
+            By default the tape is *consumed*: every visited node's vjp,
+            parent links and intermediate gradient buffer are released as
+            soon as the pass is done with them, and a second ``backward``
+            on the same tensor raises ``RuntimeError`` (it would otherwise
+            silently double-accumulate into the leaves). Pass ``True`` to
+            keep the tape alive for another pass.
         """
+        if self._consumed:
+            raise RuntimeError(
+                "backward() on an already-consumed tape: the first call "
+                "released its intermediate state, so a second pass would "
+                "silently accumulate garbage. Recompute the forward pass, "
+                "or use backward(retain_graph=True) on the first call.")
         if grad is None:
             grad = np.ones_like(self.data, dtype=np.float64)
         else:
@@ -186,8 +223,22 @@ class Tensor:
                     stack.append((parent, False))
         self._accumulate(grad)
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward()
+            backward_fn = node._backward
+            if backward_fn is not None:
+                if node.grad is not None:
+                    backward_fn(node)
+                # An intermediate's gradient buffer is dead weight once
+                # propagated — and must not survive into a retained-tape
+                # second pass, where it would compound. Leaves (no vjp)
+                # keep their accumulated .grad for the optimiser.
+                node.grad = None
+                if not retain_graph:
+                    # Release the tape as we go: the vjp and the parent
+                    # links are only needed again under retain_graph.
+                    node._backward = None
+                    node._parents = ()
+        if not retain_graph:
+            self._consumed = True
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -199,8 +250,11 @@ class Tensor:
         other = as_tensor(other)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(_unbroadcast(out.grad, self.shape))
-            other._accumulate(_unbroadcast(out.grad, other.shape))
+            grad = out.grad
+            g_self = _unbroadcast(grad, self.shape)
+            self._accumulate(g_self, own=g_self is not grad)
+            g_other = _unbroadcast(grad, other.shape)
+            other._accumulate(g_other, own=g_other is not grad)
 
         return Tensor._make(self.data + other.data, (self, other), backward)
 
@@ -210,8 +264,10 @@ class Tensor:
         other = as_tensor(other)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(_unbroadcast(out.grad, self.shape))
-            other._accumulate(_unbroadcast(-out.grad, other.shape))
+            grad = out.grad
+            g_self = _unbroadcast(grad, self.shape)
+            self._accumulate(g_self, own=g_self is not grad)
+            other._accumulate(_unbroadcast(-grad, other.shape), own=True)
 
         return Tensor._make(self.data - other.data, (self, other), backward)
 
@@ -222,8 +278,11 @@ class Tensor:
         other = as_tensor(other)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+            grad = out.grad
+            self._accumulate(_unbroadcast(grad * other.data, self.shape),
+                             own=True)
+            other._accumulate(_unbroadcast(grad * self.data, other.shape),
+                              own=True)
 
         return Tensor._make(self.data * other.data, (self, other), backward)
 
@@ -233,9 +292,11 @@ class Tensor:
         other = as_tensor(other)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+            grad = out.grad
+            self._accumulate(_unbroadcast(grad / other.data, self.shape),
+                             own=True)
             other._accumulate(_unbroadcast(
-                -out.grad * self.data / (other.data ** 2), other.shape))
+                -grad * self.data / (other.data ** 2), other.shape), own=True)
 
         return Tensor._make(self.data / other.data, (self, other), backward)
 
@@ -244,7 +305,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(out: Tensor) -> None:
-            self._accumulate(-out.grad)
+            self._accumulate(-out.grad, own=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -252,7 +313,8 @@ class Tensor:
         exponent = float(exponent)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(out.grad * exponent * self.data ** (exponent - 1),
+                             own=True)
 
         return Tensor._make(self.data ** exponent, (self,), backward)
 
@@ -286,17 +348,17 @@ class Tensor:
             grad = out.grad
             a, b = self.data, other.data
             if a.ndim == 1 and b.ndim == 1:        # dot product → scalar
-                self._accumulate(grad * b)
-                other._accumulate(grad * a)
+                self._accumulate(grad * b, own=True)
+                other._accumulate(grad * a, own=True)
             elif a.ndim == 2 and b.ndim == 2:      # (n,k)@(k,m)
-                self._accumulate(grad @ b.T)
-                other._accumulate(a.T @ grad)
+                self._accumulate(grad @ b.T, own=True)
+                other._accumulate(a.T @ grad, own=True)
             elif a.ndim == 1:                      # (k,)@(k,m) → (m,)
-                self._accumulate(b @ grad)
-                other._accumulate(np.outer(a, grad))
+                self._accumulate(b @ grad, own=True)
+                other._accumulate(np.outer(a, grad), own=True)
             else:                                  # (n,k)@(k,) → (n,)
-                self._accumulate(np.outer(grad, b))
-                other._accumulate(a.T @ grad)
+                self._accumulate(np.outer(grad, b), own=True)
+                other._accumulate(a.T @ grad, own=True)
 
         return Tensor._make(self.data @ other.data, (self, other), backward)
 
@@ -329,7 +391,7 @@ class Tensor:
         def backward(out: Tensor) -> None:
             grad = np.zeros_like(self.data, dtype=np.float64)
             np.add.at(grad, index, out.grad)
-            self._accumulate(grad)
+            self._accumulate(grad, own=True)
 
         return Tensor._make(self.data[index], (self,), backward)
 
@@ -340,13 +402,13 @@ class Tensor:
         value = np.exp(self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * value)
+            self._accumulate(out.grad * value, own=True)
 
         return Tensor._make(value, (self,), backward)
 
     def log(self) -> "Tensor":
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad / self.data)
+            self._accumulate(out.grad / self.data, own=True)
 
         return Tensor._make(np.log(self.data), (self,), backward)
 
@@ -354,13 +416,14 @@ class Tensor:
         value = np.sqrt(self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * 0.5 / np.maximum(value, 1e-12))
+            self._accumulate(out.grad * 0.5 / np.maximum(value, 1e-12),
+                             own=True)
 
         return Tensor._make(value, (self,), backward)
 
     def abs(self) -> "Tensor":
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * np.sign(self.data))
+            self._accumulate(out.grad * np.sign(self.data), own=True)
 
         return Tensor._make(np.abs(self.data), (self,), backward)
 
@@ -368,7 +431,7 @@ class Tensor:
         mask = self.data > 0
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * mask)
+            self._accumulate(out.grad * mask, own=True)
 
         return Tensor._make(self.data * mask, (self,), backward)
 
@@ -377,7 +440,7 @@ class Tensor:
         scale = np.where(mask, 1.0, slope)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * scale)
+            self._accumulate(out.grad * scale, own=True)
 
         return Tensor._make(self.data * scale, (self,), backward)
 
@@ -385,7 +448,7 @@ class Tensor:
         value = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60, 60)))
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * value * (1.0 - value))
+            self._accumulate(out.grad * value * (1.0 - value), own=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -393,7 +456,7 @@ class Tensor:
         value = np.tanh(self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * (1.0 - value ** 2))
+            self._accumulate(out.grad * (1.0 - value ** 2), own=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -402,7 +465,9 @@ class Tensor:
         value = np.logaddexp(0.0, self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad / (1.0 + np.exp(-np.clip(self.data, -60, 60))))
+            self._accumulate(
+                out.grad / (1.0 + np.exp(-np.clip(self.data, -60, 60))),
+                own=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -412,7 +477,7 @@ class Tensor:
         mask = (self.data >= lo) & (self.data <= hi)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * mask)
+            self._accumulate(out.grad * mask, own=True)
 
         return Tensor._make(np.clip(self.data, lo, hi), (self,), backward)
 
@@ -427,7 +492,10 @@ class Tensor:
                 axes = (axis,) if isinstance(axis, int) else axis
                 for ax in sorted(a % self.ndim for a in axes):
                     grad = np.expand_dims(grad, ax)
-            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            # broadcast_to gives a read-only view; _accumulate copies it on
+            # first touch and adds through it afterwards — one pass either
+            # way, instead of the old explicit .copy() plus add.
+            self._accumulate(np.broadcast_to(grad, self.shape))
 
         return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims),
                             (self,), backward)
@@ -453,7 +521,7 @@ class Tensor:
             mask = (self.data == full)
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
                 else mask.sum()
-            self._accumulate(np.where(mask, grad / counts, 0.0))
+            self._accumulate(mask * (grad / counts), own=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -474,7 +542,7 @@ class Tensor:
 
         def backward(out: Tensor) -> None:
             grad_sum = out.grad.sum(axis=axis, keepdims=True)
-            self._accumulate(out.grad - softmax * grad_sum)
+            self._accumulate(out.grad - softmax * grad_sum, own=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -504,20 +572,28 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
 
     def backward(out: Tensor) -> None:
         for i, tensor in enumerate(tensors):
-            tensor._accumulate(np.take(out.grad, i, axis=axis))
+            tensor._accumulate(np.take(out.grad, i, axis=axis), own=True)
 
     data = np.stack([t.data for t in tensors], axis=axis)
     return Tensor._make(data, tensors, backward)
 
 
-def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
-    """Differentiable select; ``condition`` is a boolean ndarray."""
+def where(condition, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable select; ``condition`` is a boolean ndarray or Tensor.
+
+    A Tensor condition contributes its (non-differentiable) ``.data`` —
+    coercing the Tensor object itself through ``np.asarray`` would build a
+    bogus 0-d object array instead of reading the payload.
+    """
     a, b = as_tensor(a), as_tensor(b)
+    if isinstance(condition, Tensor):
+        condition = condition.data
     condition = np.asarray(condition, dtype=bool)
 
     def backward(out: Tensor) -> None:
-        a._accumulate(_unbroadcast(np.where(condition, out.grad, 0.0), a.shape))
-        b._accumulate(_unbroadcast(np.where(condition, 0.0, out.grad), b.shape))
+        grad = out.grad
+        a._accumulate(_unbroadcast(grad * condition, a.shape), own=True)
+        b._accumulate(_unbroadcast(grad * ~condition, b.shape), own=True)
 
     return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)
 

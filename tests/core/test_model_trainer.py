@@ -176,3 +176,37 @@ def test_exact_mode_trains(mutag):
         SGCLConfig(epochs=1, batch_size=8, seed=0, lipschitz_mode="exact"))
     history = trainer.pretrain(mutag.graphs[:16])
     assert np.isfinite(history[0]["loss"])
+
+
+def test_precompute_lipschitz_uses_default_cache(mutag, tmp_path):
+    """precompute_lipschitz serves K_V through PrecomputeCache by default
+    (config.precompute_cache_dir), without changing numbers (PR 9)."""
+    from repro.runtime import PrecomputeCache
+
+    cache_dir = tmp_path / "kv-cache"
+    config = SGCLConfig(epochs=1, batch_size=16, seed=0,
+                        precompute_cache_dir=str(cache_dir))
+    trainer = SGCLTrainer(mutag.num_features, config)
+    graphs = mutag.graphs[:6]
+    first = trainer.precompute_lipschitz(graphs)
+    assert cache_dir.exists()  # default cache was created and populated
+    second = trainer.precompute_lipschitz(graphs)
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)
+    stats = PrecomputeCache(cache_dir).stats()
+    assert stats["entries"] == len(graphs)
+    # Explicit opt-out computes without touching any cache directory.
+    off_config = SGCLConfig(epochs=1, batch_size=16, seed=0,
+                            precompute_cache_dir=None)
+    off_trainer = SGCLTrainer(mutag.num_features, off_config)
+    uncached = off_trainer.precompute_lipschitz(graphs, cache=False)
+    assert len(uncached) == len(graphs)
+
+
+def test_precompute_cache_false_disables_default(mutag, tmp_path):
+    cache_dir = tmp_path / "never-created"
+    config = SGCLConfig(epochs=1, batch_size=16, seed=0,
+                        precompute_cache_dir=str(cache_dir))
+    trainer = SGCLTrainer(mutag.num_features, config)
+    trainer.precompute_lipschitz(mutag.graphs[:3], cache=False)
+    assert not cache_dir.exists()

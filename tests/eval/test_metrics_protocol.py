@@ -131,3 +131,23 @@ def test_finetune_classifier_learns_separable(rng):
     after = encoder.state_dict()
     assert acc > 0.5  # beats coin flip on a 2-class planted-motif dataset
     assert all(np.allclose(before[k], after[k]) for k in before)
+
+
+def test_finetune_classifier_skips_unlabeled_graphs(rng):
+    """y=None graphs (NaN labels) must be filtered, not int-cast (PR 9)."""
+    from _helpers import make_path, make_triangle
+
+    graphs = []
+    for i in range(12):
+        maker = make_triangle if i % 2 == 0 else make_path
+        graphs.append(maker(rng, y=i % 2))
+    graphs.append(make_triangle(rng, y=None))
+    graphs.append(make_path(rng, y=None))
+    dataset = GraphDataset("toy", graphs, num_classes=2)
+    encoder = GNNEncoder(4, 8, 2, rng=rng)
+    indices = np.arange(len(graphs))
+    acc = finetune_classifier(encoder, dataset, indices, indices,
+                              epochs=2, batch_size=4,
+                              rng=np.random.default_rng(0))
+    assert np.isfinite(acc)
+    assert 0.0 <= acc <= 1.0

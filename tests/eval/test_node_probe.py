@@ -57,3 +57,16 @@ def test_node_linear_probe_returns_sane_metrics(dataset, encoder):
 def test_node_linear_probe_validates_fraction(dataset, encoder):
     with pytest.raises(ValueError):
         node_linear_probe(encoder, dataset, num_nodes=20, train_fraction=1.5)
+
+
+def test_node_linear_probe_filters_unlabeled_nodes(encoder):
+    """NaN node labels must be dropped before the split (PR 9)."""
+    noisy = load_node_dataset("community-1m", seed=0, scale=0.0005)
+    labels = noisy.y.astype(np.float64)
+    labels[::3] = np.nan  # unlabel a third of the corpus
+    noisy.y = labels
+    result = node_linear_probe(encoder, noisy, num_nodes=60, seed=0)
+    # Counts reflect the labeled subset only, and the probe stays finite.
+    assert result["num_train"] + result["num_test"] <= 60
+    assert result["num_train"] >= 1 and result["num_test"] >= 1
+    assert 0.0 <= result["accuracy"] <= 1.0

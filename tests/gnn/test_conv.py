@@ -119,3 +119,54 @@ def test_batched_equals_individual(rng):
     alone_b = conv(Tensor(b.x), b.edge_index, 4).data
     assert np.allclose(together[:3], alone_a, atol=1e-10)
     assert np.allclose(together[3:], alone_b, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# Workspace fast path (PR 9): cached plans must not change numbers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("conv_name", sorted(CONV_TYPES))
+def test_workspace_matches_planless(conv_name, rng):
+    from repro.graph import MessagePassingWorkspace
+
+    batch = Batch([make_triangle(rng), make_path(rng, n=5)])
+    workspace = MessagePassingWorkspace(batch.edge_index, batch.num_nodes)
+    conv = CONV_TYPES[conv_name](4, 8, rng=np.random.default_rng(11))
+    conv.eval()
+
+    x_ws = Tensor(batch.x, requires_grad=True)
+    x_plain = Tensor(batch.x, requires_grad=True)
+    out_ws = conv(x_ws, batch.edge_index, batch.num_nodes,
+                  workspace=workspace)
+    out_plain = conv(x_plain, batch.edge_index, batch.num_nodes)
+    assert np.array_equal(out_ws.data, out_plain.data)
+    out_ws.sum().backward()
+    out_plain.sum().backward()
+    assert np.array_equal(x_ws.grad, x_plain.grad)
+    # Workspace reuse across calls (different features, same topology).
+    again = conv(Tensor(batch.x * 2.0), batch.edge_index, batch.num_nodes,
+                 workspace=workspace)
+    assert again.shape == out_ws.shape
+
+
+def test_batch_workspace_is_cached_and_reused(rng):
+    batch = Batch([make_triangle(rng), make_path(rng, n=4)])
+    first = batch.workspace()
+    assert batch.workspace() is first
+    plan = first.plan("dst")
+    assert first.plan("dst") is plan
+    assert first.pool_plan() is first.pool_plan()
+    assert first.pool_plan().num_segments == batch.num_graphs
+
+
+def test_encoder_batched_forward_matches_manual_edges(rng):
+    """Encoder forward (which now threads Batch.workspace) must equal the
+    workspace-free node_representations path bit for bit."""
+    from repro.gnn import GNNEncoder
+
+    batch = Batch([make_triangle(rng), make_path(rng, n=6)])
+    encoder = GNNEncoder(4, 8, 2, rng=np.random.default_rng(5))
+    encoder.eval()
+    via_batch = encoder(batch).data
+    manual = encoder.node_representations(
+        Tensor(batch.x), batch.edge_index, batch.num_nodes).data
+    assert np.array_equal(via_batch, manual)

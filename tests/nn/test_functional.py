@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.nn import (
     binary_cross_entropy_with_logits,
@@ -85,3 +86,51 @@ def test_cosine_self_similarity_is_one(rng):
     a = Tensor(rng.normal(size=(3, 5)))
     sims = cosine_similarity_matrix(a, a).data
     assert np.allclose(np.diag(sims), 1.0)
+
+
+# ----------------------------------------------------------------------
+# NaN-label handling (PR 9 regressions)
+# ----------------------------------------------------------------------
+def test_masked_bce_ignores_nan_targets(rng):
+    logits = rng.normal(size=(4, 3))
+    targets = rng.integers(2, size=(4, 3)).astype(float)
+    targets[1, 2] = np.nan
+    targets[3, 0] = np.nan
+    mask = np.isfinite(targets)
+
+    logits_t = Tensor(logits, requires_grad=True)
+    loss = binary_cross_entropy_with_logits(logits_t, targets, mask=mask)
+    # The loss must equal the mean BCE over the labeled entries alone —
+    # before the fix, 0 * NaN poisoned the whole sum.
+    per_entry = np.logaddexp(0, logits) - logits * np.nan_to_num(targets)
+    expected = per_entry[mask].sum() / mask.sum()
+    assert np.isfinite(loss.item())
+    assert np.isclose(loss.item(), expected)
+    loss.backward()
+    assert np.isfinite(logits_t.grad).all()
+    # Masked entries get zero gradient (their sigmoid term is multiplied
+    # by the zero mask weight... but the softplus side is masked too).
+    assert np.allclose(logits_t.grad[~mask], 0.0)
+
+
+def test_masked_bce_matches_unmasked_when_all_valid(rng):
+    logits = rng.normal(size=(3, 2))
+    targets = rng.integers(2, size=(3, 2)).astype(float)
+    masked = binary_cross_entropy_with_logits(
+        Tensor(logits), targets, mask=np.ones_like(targets, dtype=bool))
+    unmasked = binary_cross_entropy_with_logits(Tensor(logits), targets)
+    assert np.isclose(masked.item(), unmasked.item())
+
+
+def test_cross_entropy_rejects_non_finite_targets(rng):
+    logits = Tensor(rng.normal(size=(3, 2)))
+    targets = np.array([0.0, np.nan, 1.0])
+    with pytest.raises(ValueError, match="non-finite"):
+        cross_entropy(logits, targets)
+
+
+def test_cross_entropy_accepts_float_labels_when_finite(rng):
+    logits = rng.normal(size=(3, 2))
+    as_float = cross_entropy(Tensor(logits), np.array([0.0, 1.0, 1.0]))
+    as_int = cross_entropy(Tensor(logits), np.array([0, 1, 1]))
+    assert np.isclose(as_float.item(), as_int.item())

@@ -170,3 +170,78 @@ def test_gather_inverse_of_segment_one_hot(n, seed):
     index = local.permutation(n)
     out = gather(segment_sum(Tensor(values), index, n), index)
     assert np.allclose(out.data, values)
+
+
+# ----------------------------------------------------------------------
+# segment_softmax normalisation + ScatterPlan fast path (PR 9)
+# ----------------------------------------------------------------------
+def test_segment_softmax_rows_sum_to_one(rng):
+    values = rng.normal(size=12) * 10.0
+    index = rng.integers(4, size=12)
+    out = segment_softmax(Tensor(values), index, 4)
+    sums = np.zeros(4)
+    np.add.at(sums, index, out.data)
+    occupied = np.bincount(index, minlength=4) > 0
+    # Exactly 1, not 1 - epsilon: the old +1e-16 denominator made
+    # attention rows sum to slightly less than one.
+    assert np.allclose(sums[occupied], 1.0, rtol=0, atol=1e-12)
+
+
+def test_scatter_plan_matches_planless(rng):
+    from repro.tensor import ScatterPlan
+
+    values = rng.normal(size=(14, 3))
+    scalars = rng.normal(size=14)
+    index = rng.integers(5, size=14)
+    plan = ScatterPlan(index, 5)
+
+    for make in (
+        lambda v, p: segment_sum(v, index, 5, plan=p),
+        lambda v, p: segment_mean(v, index, 5, plan=p),
+        lambda v, p: segment_max(v, index, 5, plan=p),
+    ):
+        for payload in (values, scalars):
+            with_plan = Tensor(payload, requires_grad=True)
+            without = Tensor(payload, requires_grad=True)
+            out_plan = make(with_plan, plan)
+            out_none = make(without, None)
+            assert np.array_equal(out_plan.data, out_none.data)
+            out_plan.sum().backward()
+            out_none.sum().backward()
+            assert np.array_equal(with_plan.grad, without.grad)
+
+
+def test_scatter_plan_gather_and_softmax_match(rng):
+    from repro.tensor import ScatterPlan, gather as g
+
+    node_values = rng.normal(size=(5, 2))
+    edge_values = rng.normal(size=14)
+    index = rng.integers(5, size=14)
+    plan = ScatterPlan(index, 5)
+
+    a = Tensor(node_values, requires_grad=True)
+    b = Tensor(node_values, requires_grad=True)
+    out_plan, out_none = g(a, index, plan=plan), g(b, index)
+    assert np.array_equal(out_plan.data, out_none.data)
+    (out_plan * out_plan).sum().backward()
+    (out_none * out_none).sum().backward()
+    assert np.array_equal(a.grad, b.grad)
+
+    c = Tensor(edge_values, requires_grad=True)
+    d = Tensor(edge_values, requires_grad=True)
+    soft_plan = segment_softmax(c, index, 5, plan=plan)
+    soft_none = segment_softmax(d, index, 5)
+    assert np.array_equal(soft_plan.data, soft_none.data)
+    (soft_plan * Tensor(edge_values)).sum().backward()
+    (soft_none * Tensor(edge_values)).sum().backward()
+    assert np.array_equal(c.grad, d.grad)
+
+
+def test_scatter_plan_rejects_out_of_range_index(rng):
+    from repro.tensor import ScatterPlan
+
+    plan = ScatterPlan(np.array([0, 1, 5]), 3)  # 5 >= num_segments
+    with pytest.raises(IndexError):
+        plan.scatter_sum(np.ones(3))
+    with pytest.raises(IndexError):
+        segment_sum(Tensor(np.ones((3, 2))), np.array([0, 1, 5]), 3)

@@ -212,3 +212,60 @@ def test_repr_mentions_requires_grad():
 def test_item_and_len():
     assert Tensor(np.array(3.5)).item() == 3.5
     assert len(Tensor(np.zeros((4, 2)))) == 4
+
+
+# ----------------------------------------------------------------------
+# Consumed-tape guard + where() condition coercion (PR 9 regressions)
+# ----------------------------------------------------------------------
+def test_where_accepts_tensor_condition(rng):
+    from repro.tensor import where
+
+    a = Tensor(rng.normal(size=5), requires_grad=True)
+    b = Tensor(rng.normal(size=5), requires_grad=True)
+    condition = Tensor((np.arange(5) % 2).astype(np.float64))
+    out = where(condition, a, b)
+    expected = np.where(condition.data.astype(bool), a.data, b.data)
+    assert np.array_equal(out.data, expected)
+    out.sum().backward()
+    assert np.array_equal(a.grad, condition.data.astype(bool).astype(float))
+    assert np.array_equal(b.grad, (~condition.data.astype(bool)).astype(float))
+
+
+def test_where_tensor_and_ndarray_conditions_agree(rng):
+    from repro.tensor import where
+
+    a, b = Tensor(rng.normal(size=4)), Tensor(rng.normal(size=4))
+    mask = np.array([True, False, True, False])
+    assert np.array_equal(where(Tensor(mask.astype(float)), a, b).data,
+                          where(mask, a, b).data)
+
+
+def test_double_backward_raises():
+    x = Tensor(np.ones(3), requires_grad=True)
+    y = (x * 2.0).sum()
+    y.backward()
+    with pytest.raises(RuntimeError, match="consumed"):
+        y.backward()
+    # The guard fired before touching gradients: no double accumulation.
+    assert np.allclose(x.grad, 2.0)
+
+
+def test_backward_retain_graph_allows_second_pass():
+    x = Tensor(np.ones(3), requires_grad=True)
+    y = (x * 2.0).sum()
+    y.backward(retain_graph=True)
+    y.backward(retain_graph=True)  # accumulates, documented behaviour
+    assert np.allclose(x.grad, 4.0)
+
+
+def test_backward_releases_tape_state(rng):
+    x = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+    hidden = x * 2.0
+    out = hidden.sum()
+    out.backward()
+    # Leaves keep their gradient; intermediates release closure, parents
+    # and gradient buffer so a training step holds no tape garbage.
+    assert x.grad is not None
+    assert hidden.grad is None
+    assert hidden._backward is None
+    assert hidden._parents == ()
