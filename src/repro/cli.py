@@ -32,7 +32,17 @@ Commands
     committed ``BENCH_hotpath.json`` baseline.
 ``doctor``
     Validate a dataset's structural invariants and smoke-test the guarded
-    training path; non-zero exit on any failure (CI gate).
+    training path; non-zero exit on any failure (CI gate). With
+    ``--drift-store`` it also scores the dataset against the store's live
+    training statistics and fails at the refresh threshold.
+``ingest``
+    Validate, commit and drift-check one graph batch into an append-only
+    versioned :class:`~repro.ingest.DatasetStore` (crash-safe, dedupes
+    replayed batches).
+``refresh``
+    Fine-tune the live model onto the newest committed dataset version,
+    register it and atomically go live; ``--watch`` polls a spool
+    directory and refreshes whenever drift crosses the threshold.
 
 ``pretrain`` and ``transfer`` accept ``--log-dir DIR`` (write a JSONL
 event log + run manifest under DIR) and ``--trace`` (print the span tree
@@ -350,13 +360,130 @@ def _cmd_doctor(args: argparse.Namespace) -> None:
 
     report = run_doctor(args.dataset, seed=args.seed, scale=args.scale,
                         epochs=args.epochs, batch_size=args.batch_size,
-                        max_graphs=args.max_graphs)
+                        max_graphs=args.max_graphs,
+                        drift_store=args.drift_store,
+                        drift_warn=args.drift_warn,
+                        drift_refresh=args.drift_refresh)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         print(render_doctor_report(report))
     if not report["ok"]:
         raise SystemExit(1)
+
+
+def _make_controller(args, store):
+    """RefreshController for the ingest/refresh commands (None w/o registry)."""
+    from .core import SGCLConfig
+    from .ingest import RefreshController
+    from .serve import ModelRegistry
+
+    if not getattr(args, "registry", None):
+        return None
+    config = SGCLConfig(batch_size=args.batch_size, seed=args.seed,
+                        precompute_cache_dir=None)
+    return RefreshController(
+        store, ModelRegistry(args.registry), model_base=args.model_base,
+        epochs=args.refresh_epochs, window=args.window, config=config)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> None:
+    """Validate, commit and drift-check one batch into a DatasetStore."""
+    from .data import load_dataset
+    from .data.io import load_saved_dataset
+    from .ingest import DatasetStore, IngestPipeline
+
+    store = DatasetStore(args.store)
+    recovered = store.recover()
+    pipeline = IngestPipeline(store, controller=_make_controller(args, store),
+                              policy=args.policy,
+                              warn_threshold=args.warn_threshold,
+                              refresh_threshold=args.refresh_threshold)
+    if args.from_npz:
+        dataset = load_saved_dataset(args.from_npz)
+        graphs = dataset.graphs
+        name, num_classes, task = (dataset.name, dataset.num_classes,
+                                   dataset.task)
+    else:
+        dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+        end = None if args.take is None else args.skip + args.take
+        graphs = dataset.graphs[args.skip:end]
+        name, num_classes, task = (args.dataset, dataset.num_classes,
+                                   dataset.task)
+    if not graphs:
+        raise SystemExit("ingest: the batch selection is empty")
+    if args.shift_features or args.tag_ids:
+        graphs = [g.copy() for g in graphs]
+        for i, graph in enumerate(graphs):
+            if args.shift_features:
+                graph.x = graph.x + args.shift_features
+            if args.tag_ids:
+                graph.meta["graph_id"] = f"{args.tag_ids}{args.skip + i}"
+    report = pipeline.ingest(graphs, name=name, num_classes=num_classes,
+                             task=task)
+    payload = {**report.to_dict(), "store": str(store.root),
+               "recovered": recovered, **store.stats()}
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        drift = "" if report.drift is None else (
+            f", drift {report.drift.max_score:.2f} "
+            f"({report.action})")
+        print(f"ingested {report.num_graphs} graph(s) as version "
+              f"{report.version} of {store.root}"
+              f"{' [duplicate batch]' if not report.created else ''}"
+              f"{f', dropped {report.dropped}' if report.dropped else ''}"
+              f"{drift}")
+        if report.refresh_due:
+            print("drift crossed the refresh threshold — run "
+                  f"`repro refresh --store {store.root}`")
+
+
+def _cmd_refresh(args: argparse.Namespace) -> None:
+    """Fine-tune, register and go live on the newest dataset version."""
+    from .ingest import DatasetStore, IngestPipeline, read_live
+
+    store = DatasetStore(args.store)
+    controller = _make_controller(args, store)
+    if controller is None:
+        raise SystemExit("refresh: --registry is required")
+    if args.watch:
+        if not args.spool:
+            raise SystemExit("refresh: --watch requires --spool")
+        pipeline = IngestPipeline(
+            store, controller=controller, policy=args.policy,
+            warn_threshold=args.warn_threshold,
+            refresh_threshold=args.refresh_threshold)
+        reports = pipeline.watch(args.spool, interval=args.interval,
+                                 max_cycles=args.max_cycles)
+        live = read_live(store.root)
+        payload = {
+            "cycles": args.max_cycles, "batches": len(reports),
+            "refreshes": sum(1 for r in reports if r.refresh_due),
+            "live": live,
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"watch: {len(reports)} batch(es) ingested; live model "
+                  f"{live['model'] if live else None}")
+        return
+    outcome = controller.refresh(args.version, force=args.force)
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
+        return
+    if outcome.skipped:
+        print(f"refresh: live model already covers dataset version "
+              f"{outcome.dataset_version} (use --force to retrain)")
+    elif outcome.interrupted:
+        print(f"refresh: interrupted after {outcome.epochs_trained} "
+              f"epoch(s); run again to resume bit-identically")
+        raise SystemExit(130)
+    else:
+        print(f"refresh: {outcome.model} live on dataset version "
+              f"{outcome.dataset_version} ({outcome.epochs_trained} "
+              f"epoch(s) trained, {outcome.invalidated} cache row(s) "
+              f"invalidated)")
 
 
 def _cmd_inspect(args: argparse.Namespace) -> None:
@@ -845,7 +972,75 @@ def build_parser() -> argparse.ArgumentParser:
                         help="graphs used by the smoke pre-train")
     doctor.add_argument("--json", action="store_true",
                         help="machine-readable report on stdout")
+    doctor.add_argument("--drift-store", default=None,
+                        help="DatasetStore root with a live model: also "
+                             "score the dataset's drift against the live "
+                             "training statistics (validate/drift_*)")
+    doctor.add_argument("--drift-warn", type=float, default=0.5,
+                        help="drift score that warns")
+    doctor.add_argument("--drift-refresh", type=float, default=2.0,
+                        help="drift score that fails the doctor verdict")
     doctor.set_defaults(fn=_cmd_doctor)
+
+    def _add_continuity_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", required=True,
+                       help="DatasetStore root directory")
+        p.add_argument("--registry", default=None,
+                       help="ModelRegistry root (enables refresh + K_V drift)")
+        p.add_argument("--model-base", default="sgcl",
+                       help="refreshed models are named <base>-v<version>")
+        p.add_argument("--refresh-epochs", type=int, default=2,
+                       help="fine-tune epochs per refresh")
+        p.add_argument("--window", type=int, default=None,
+                       help="train on the last N batches only")
+        p.add_argument("--batch-size", type=int, default=32,
+                       help="training batch size for bootstrap refreshes")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--policy", default="drop",
+                       choices=["drop", "raise", "warn"],
+                       help="what to do with structurally invalid graphs")
+        p.add_argument("--warn-threshold", type=float, default=0.5)
+        p.add_argument("--refresh-threshold", type=float, default=2.0)
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+
+    ingest = sub.add_parser(
+        "ingest", help="commit a graph batch to a versioned dataset store")
+    _add_continuity_flags(ingest)
+    ingest.add_argument("--from-npz", default=None,
+                        help="ingest a batch written by save_dataset")
+    ingest.add_argument("--dataset", default="MUTAG",
+                        help="synthesise the batch from this dataset "
+                             "(ignored with --from-npz)")
+    ingest.add_argument("--scale", type=float, default=0.08)
+    ingest.add_argument("--skip", type=int, default=0,
+                        help="skip this many leading graphs")
+    ingest.add_argument("--take", type=int, default=None,
+                        help="batch size cap (default: the rest)")
+    ingest.add_argument("--shift-features", type=float, default=None,
+                        help="add this constant to every feature "
+                             "(deterministic drift injection)")
+    ingest.add_argument("--tag-ids", default=None, metavar="PREFIX",
+                        help="assign graph_id=<PREFIX><index> so re-ingested "
+                             "graphs supersede earlier revisions")
+    ingest.set_defaults(fn=_cmd_ingest)
+
+    refresh = sub.add_parser(
+        "refresh", help="fine-tune + go live on the newest dataset version")
+    _add_continuity_flags(refresh)
+    refresh.add_argument("--version", type=int, default=None,
+                         help="target dataset version (default: newest)")
+    refresh.add_argument("--force", action="store_true",
+                         help="retrain even if the live model is current")
+    refresh.add_argument("--watch", action="store_true",
+                         help="poll --spool for batches, refreshing on drift")
+    refresh.add_argument("--spool", default=None,
+                         help="spool directory of *.npz batches for --watch")
+    refresh.add_argument("--interval", type=float, default=5.0,
+                         help="seconds between --watch sweeps")
+    refresh.add_argument("--max-cycles", type=int, default=None,
+                         help="stop --watch after N sweeps (default: forever)")
+    refresh.set_defaults(fn=_cmd_refresh)
 
     inspect = sub.add_parser("inspect", help="semantic-node diagnostics")
     inspect.add_argument("--dataset", default="PROTEINS")

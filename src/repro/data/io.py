@@ -26,22 +26,45 @@ _FORMAT_VERSION = 1
 # be JSON-encodable.
 _META_ARRAY_PREFIX = "metaarr"
 
+# Indirection so tests can observe/deny the flushes without touching the
+# real os.fsync that the rest of the process relies on.
+_FSYNC = os.fsync
+
+
+def _fsync_fd_of(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        _FSYNC(fd)
+    finally:
+        os.close(fd)
+
 
 @contextmanager
-def atomic_write(path: str | Path, suffix: str = ""):
+def atomic_write(path: str | Path, suffix: str = "", durable: bool = True):
     """Yield a temporary sibling path; rename onto ``path`` on success.
 
     Creates parent directories, writes to a pid-unique temporary file and
     atomically renames it into place, so concurrent writers can never leave a
     truncated file at ``path``. ``suffix`` keeps writers that key on the file
     extension happy (``np.savez`` appends ``.npz`` unless already present).
+
+    With ``durable=True`` (the default) the temporary file's data is
+    fsynced *before* the rename and the parent directory entry *after*
+    it — the POSIX ordering that makes the commit survive power loss:
+    a crash can lose the whole write or keep the whole write, but can
+    never surface ``path`` pointing at unflushed data. ``durable=False``
+    skips both flushes for callers writing disposable scratch files.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp{suffix}")
     try:
         yield tmp
+        if durable and tmp.exists():
+            _fsync_fd_of(tmp)
         os.replace(tmp, path)
+        if durable:
+            _fsync_fd_of(path.parent)
     finally:
         if tmp.exists():
             tmp.unlink()

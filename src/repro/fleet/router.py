@@ -260,6 +260,25 @@ class FleetRouter:
         current().event("fleet_canary", action="rollback", version=version)
         return version
 
+    def invalidate(self, digests) -> int:
+        """Evict ``digests`` from every replica's caches; returns rows dropped.
+
+        The fleet half of an incremental refresh: after a model swap,
+        only the digests whose source graphs changed are dropped
+        (``fleet/invalidated``), so unchanged graphs keep serving warm.
+        Replicas without an ``invalidate`` surface (process replicas from
+        older deployments) are skipped.
+        """
+        digests = list(digests)
+        removed = 0
+        for worker in self.workers:
+            invalidate = getattr(worker, "invalidate", None)
+            if invalidate is not None:
+                removed += invalidate(digests)
+        self.telemetry.increment("invalidated", removed)
+        current().increment("fleet/invalidated", removed)
+        return removed
+
     @property
     def canary_version(self) -> str | None:
         slots = {w.canary.version for w in self.workers

@@ -155,6 +155,25 @@ class FleetWorker:
         self.canary_slice = 0.0
         return dropped
 
+    def invalidate(self, digests) -> int:
+        """Evict ``digests`` from both slots' caches; returns rows dropped.
+
+        Selective refresh hook: after an incremental model refresh, only
+        the digests whose source graphs changed are invalidated — every
+        other entry keeps serving warm from cache.
+        """
+        digests = list(digests)
+        removed = 0
+        for slot in (self.stable, self.canary):
+            if slot is None:
+                continue
+            invalidate = getattr(slot.service, "invalidate", None)
+            if invalidate is not None:
+                removed += invalidate(digests)
+        if removed:
+            self.telemetry.increment("invalidated", removed)
+        return removed
+
     def slot_for(self, digest: str) -> ModelSlot:
         """The model slot a digest is assigned to under the current deploy."""
         if self.canary is not None \

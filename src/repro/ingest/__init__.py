@@ -1,0 +1,61 @@
+"""Continuous learning: crash-safe ingest, drift detection, refresh.
+
+Production corpora arrive as a stream; this package closes the loop from
+new data to a refreshed serving fleet without ever losing a committed
+batch or serving mixed model versions:
+
+* :class:`DatasetStore` — append-only versioned corpus with atomic,
+  fsynced manifest commits, content-addressed batches, a fingerprint
+  chain and quarantine for anything corrupt (see ``store.py``).
+* :func:`corpus_statistics` / :class:`DriftDetector` — exact mergeable
+  feature/degree/``K_V`` statistics and σ-normalised drift scores
+  reported as ``validate/drift_*`` metrics (``drift.py``).
+* :class:`RefreshController` — plan-pinned fine-tune from the live
+  checkpoint under :func:`~repro.resilience.interrupt_guard`, model
+  registration with full trainer state, atomic fleet swap with
+  selective cache invalidation, and a ``LIVE.json`` go-live commit
+  (``refresh.py``).
+* :class:`IngestPipeline` — the validate → commit → drift → refresh
+  front door behind ``repro ingest`` / ``repro refresh --watch``
+  (``pipeline.py``).
+
+Every stage between two crash points is idempotent, so the whole loop
+can be SIGKILLed anywhere and simply re-run — the chaos suite in
+``tests/ingest/`` does exactly that. See docs/CONTINUITY.md.
+"""
+
+from .drift import (
+    DriftDetector,
+    DriftReport,
+    combine_statistics,
+    corpus_statistics,
+    summarize_statistics,
+)
+from .pipeline import IngestPipeline, IngestReport
+from .refresh import (
+    RefreshController,
+    RefreshOutcome,
+    read_live,
+    register_trainer,
+    swap_fleet,
+    write_live,
+)
+from .store import DatasetStore, StoreCorruptionError
+
+__all__ = [
+    "DatasetStore",
+    "StoreCorruptionError",
+    "corpus_statistics",
+    "combine_statistics",
+    "summarize_statistics",
+    "DriftDetector",
+    "DriftReport",
+    "RefreshController",
+    "RefreshOutcome",
+    "register_trainer",
+    "swap_fleet",
+    "read_live",
+    "write_live",
+    "IngestPipeline",
+    "IngestReport",
+]

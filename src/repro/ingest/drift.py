@@ -1,0 +1,282 @@
+"""Distribution-drift statistics and detection for streaming graph data.
+
+SGCL's augmentation quality is tied to the data distribution (the
+Lipschitz constants *are* a distributional statistic), so a continuously
+fed corpus needs a cheap, exact way to notice when incoming batches stop
+looking like the data the live model was trained on. This module keeps
+three families of statistics per corpus:
+
+* **feature moments** — per-dimension mean/std of node features;
+* **degree distribution** — mean/std/max node degree;
+* **``K_V`` moments** — mean/std of the per-node Lipschitz constants
+  under a frozen generator (the live model's ``f_q``), computed through
+  :func:`repro.runtime.precompute_node_constants` so repeated sweeps hit
+  the content-addressed cache.
+
+Statistics are stored as **mergeable accumulators** (counts, sums and
+sums of squares — all JSON-serialisable floats) rather than derived
+moments, so a dataset version's cumulative statistics are the *exact*
+combination of its batches' (:func:`combine_statistics`), independent of
+batching. :class:`DriftDetector` turns the accumulators into drift
+scores — mean shift in reference-σ units plus relative σ change — and
+reports them as ``validate/drift_*`` gauges with configurable ``warn``
+and ``refresh`` thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import current
+
+__all__ = ["corpus_statistics", "combine_statistics", "summarize_statistics",
+           "DriftDetector", "DriftReport"]
+
+_EPS = 1e-8
+
+
+def corpus_statistics(graphs, *, generator=None, cache=None,
+                      workers: int | None = None) -> dict:
+    """Mergeable statistics accumulator for a corpus of graphs.
+
+    With a ``generator`` (a frozen Lipschitz generator, e.g.
+    ``trainer.model.generator``) the per-node ``K_V`` moments are
+    included, optionally cached through ``cache`` (a
+    :class:`~repro.runtime.PrecomputeCache`). All values are plain
+    Python floats/lists — the dict round-trips through JSON unchanged.
+    """
+    graphs = list(graphs)
+    if not graphs:
+        raise ValueError("corpus_statistics requires at least one graph")
+    dim = graphs[0].x.shape[1]
+    feature_sum = np.zeros(dim)
+    feature_sumsq = np.zeros(dim)
+    num_nodes = 0
+    degree_sum = 0.0
+    degree_sumsq = 0.0
+    degree_max = 0.0
+    for graph in graphs:
+        if graph.x.shape[1] != dim:
+            raise ValueError(
+                f"feature dimension mismatch: {graph.x.shape[1]} != {dim}")
+        x = np.asarray(graph.x, dtype=np.float64)
+        feature_sum += x.sum(axis=0)
+        feature_sumsq += (x * x).sum(axis=0)
+        num_nodes += graph.num_nodes
+        degrees = np.asarray(graph.degrees(), dtype=np.float64)
+        degree_sum += float(degrees.sum())
+        degree_sumsq += float((degrees * degrees).sum())
+        if degrees.size:
+            degree_max = max(degree_max, float(degrees.max()))
+    acc = {
+        "num_graphs": len(graphs),
+        "num_nodes": int(num_nodes),
+        "feature_dim": int(dim),
+        "feature_sum": feature_sum.tolist(),
+        "feature_sumsq": feature_sumsq.tolist(),
+        "degree_sum": degree_sum,
+        "degree_sumsq": degree_sumsq,
+        "degree_max": degree_max,
+        "k_v": None,
+    }
+    if generator is not None:
+        from ..runtime import precompute_node_constants
+
+        constants = precompute_node_constants(generator, graphs,
+                                              workers=workers, cache=cache)
+        flat = np.concatenate([np.asarray(k, dtype=np.float64).ravel()
+                               for k in constants])
+        acc["k_v"] = {
+            "sum": float(flat.sum()),
+            "sumsq": float((flat * flat).sum()),
+            "count": int(flat.size),
+        }
+    return acc
+
+
+def combine_statistics(a: dict, b: dict) -> dict:
+    """Exact merge of two accumulators (as if computed over the union).
+
+    ``K_V`` moments survive the merge only when both sides carry them —
+    a partially ``K_V``-annotated corpus would silently bias the moments
+    otherwise.
+    """
+    if a["feature_dim"] != b["feature_dim"]:
+        raise ValueError(
+            f"cannot combine statistics with feature dims "
+            f"{a['feature_dim']} != {b['feature_dim']}")
+    merged = {
+        "num_graphs": a["num_graphs"] + b["num_graphs"],
+        "num_nodes": a["num_nodes"] + b["num_nodes"],
+        "feature_dim": a["feature_dim"],
+        "feature_sum": (np.asarray(a["feature_sum"])
+                        + np.asarray(b["feature_sum"])).tolist(),
+        "feature_sumsq": (np.asarray(a["feature_sumsq"])
+                          + np.asarray(b["feature_sumsq"])).tolist(),
+        "degree_sum": a["degree_sum"] + b["degree_sum"],
+        "degree_sumsq": a["degree_sumsq"] + b["degree_sumsq"],
+        "degree_max": max(a["degree_max"], b["degree_max"]),
+        "k_v": None,
+    }
+    if a.get("k_v") and b.get("k_v"):
+        merged["k_v"] = {
+            "sum": a["k_v"]["sum"] + b["k_v"]["sum"],
+            "sumsq": a["k_v"]["sumsq"] + b["k_v"]["sumsq"],
+            "count": a["k_v"]["count"] + b["k_v"]["count"],
+        }
+    return merged
+
+
+def _moments(total: float, sumsq: float, count: float):
+    if count <= 0:
+        return float("nan"), float("nan")
+    mean = total / count
+    var = max(0.0, sumsq / count - mean * mean)
+    return mean, float(np.sqrt(var))
+
+
+def summarize_statistics(acc: dict) -> dict:
+    """Derived moments (means/stds) of an accumulator, for reports."""
+    n = acc["num_nodes"]
+    fmean = np.asarray(acc["feature_sum"], dtype=np.float64) / max(n, 1)
+    fvar = np.maximum(
+        0.0, np.asarray(acc["feature_sumsq"], dtype=np.float64) / max(n, 1)
+        - fmean * fmean)
+    dmean, dstd = _moments(acc["degree_sum"], acc["degree_sumsq"], n)
+    summary = {
+        "num_graphs": acc["num_graphs"],
+        "num_nodes": acc["num_nodes"],
+        "feature_mean": fmean.tolist(),
+        "feature_std": np.sqrt(fvar).tolist(),
+        "degree_mean": dmean,
+        "degree_std": dstd,
+        "degree_max": acc["degree_max"],
+        "k_v_mean": None,
+        "k_v_std": None,
+    }
+    if acc.get("k_v"):
+        kmean, kstd = _moments(acc["k_v"]["sum"], acc["k_v"]["sumsq"],
+                               acc["k_v"]["count"])
+        summary["k_v_mean"] = kmean
+        summary["k_v_std"] = kstd
+    return summary
+
+
+def _shift_score(ref_mean, ref_std, new_mean, new_std) -> float:
+    """Mean shift in reference-σ units, plus relative σ change.
+
+    The max of the two legs: ``|Δmean| / (σ_ref + ε)`` catches location
+    drift, ``|σ_new/σ_ref − 1|`` catches dispersion drift (a distribution
+    can change shape without moving its mean).
+    """
+    shift = abs(new_mean - ref_mean) / (ref_std + _EPS)
+    spread = abs(new_std / (ref_std + _EPS) - 1.0) if ref_std > _EPS \
+        else (0.0 if new_std <= _EPS else float("inf"))
+    return float(max(shift, spread))
+
+
+@dataclass
+class DriftReport:
+    """Outcome of one drift check: per-family scores and a verdict."""
+
+    scores: dict = field(default_factory=dict)
+    max_score: float = 0.0
+    status: str = "ok"           # "ok" | "warn" | "refresh"
+    warn_threshold: float = 0.5
+    refresh_threshold: float = 2.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def refresh_due(self) -> bool:
+        return self.status == "refresh"
+
+    def to_dict(self) -> dict:
+        return {"scores": dict(self.scores), "max_score": self.max_score,
+                "status": self.status,
+                "warn_threshold": self.warn_threshold,
+                "refresh_threshold": self.refresh_threshold}
+
+
+class DriftDetector:
+    """Score incoming-batch statistics against a reference accumulator.
+
+    Parameters
+    ----------
+    reference:
+        Accumulator of the corpus the live model was trained on
+        (typically the ``statistics`` block of the live pointer, or a
+        manifest's ``cumulative_statistics``).
+    warn_threshold / refresh_threshold:
+        Score levels at which the verdict becomes ``"warn"`` /
+        ``"refresh"``. Scores are σ-normalised, so 0.5 means half a
+        reference standard deviation of mean shift (or a 50 % change in
+        spread).
+    observer:
+        Receives the ``validate/drift_*`` gauges and counters; defaults
+        to the ambient observer.
+    """
+
+    def __init__(self, reference: dict, *, warn_threshold: float = 0.5,
+                 refresh_threshold: float = 2.0, observer=None):
+        if warn_threshold <= 0 or refresh_threshold <= 0:
+            raise ValueError("drift thresholds must be positive")
+        if refresh_threshold < warn_threshold:
+            raise ValueError(
+                f"refresh_threshold ({refresh_threshold}) must be >= "
+                f"warn_threshold ({warn_threshold})")
+        self.reference = reference
+        self.warn_threshold = warn_threshold
+        self.refresh_threshold = refresh_threshold
+        self._observer = observer
+
+    def _obs(self):
+        return self._observer if self._observer is not None else current()
+
+    def check(self, statistics: dict) -> DriftReport:
+        """Drift report for a batch accumulator vs. the reference."""
+        ref = summarize_statistics(self.reference)
+        new = summarize_statistics(statistics)
+        ref_fmean = np.asarray(ref["feature_mean"])
+        ref_fstd = np.asarray(ref["feature_std"])
+        new_fmean = np.asarray(new["feature_mean"])
+        new_fstd = np.asarray(new["feature_std"])
+        if ref_fmean.shape != new_fmean.shape:
+            raise ValueError(
+                f"feature dimension mismatch: reference "
+                f"{ref_fmean.shape[0]} vs batch {new_fmean.shape[0]}")
+        scores = {
+            "feature": max(
+                _shift_score(ref_fmean[d], ref_fstd[d],
+                             new_fmean[d], new_fstd[d])
+                for d in range(ref_fmean.shape[0])),
+            "degree": _shift_score(ref["degree_mean"], ref["degree_std"],
+                                   new["degree_mean"], new["degree_std"]),
+        }
+        if ref["k_v_mean"] is not None and new["k_v_mean"] is not None:
+            scores["kv"] = _shift_score(ref["k_v_mean"], ref["k_v_std"],
+                                        new["k_v_mean"], new["k_v_std"])
+        max_score = max(scores.values())
+        if max_score >= self.refresh_threshold:
+            status = "refresh"
+        elif max_score >= self.warn_threshold:
+            status = "warn"
+        else:
+            status = "ok"
+        obs = self._obs()
+        for name, score in scores.items():
+            obs.set_gauge(f"validate/drift_{name}", score)
+        obs.set_gauge("validate/drift_max", max_score)
+        if status == "warn":
+            obs.increment("validate/drift_warn")
+        elif status == "refresh":
+            obs.increment("validate/drift_refresh")
+        obs.event("drift", status=status, max_score=max_score,
+                  **{f"score_{k}": v for k, v in scores.items()})
+        return DriftReport(scores=scores, max_score=max_score, status=status,
+                           warn_threshold=self.warn_threshold,
+                           refresh_threshold=self.refresh_threshold)

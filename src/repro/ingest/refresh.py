@@ -1,0 +1,311 @@
+"""Incremental model refresh: fine-tune, register, swap — crash-safe.
+
+When drift crosses the refresh threshold, :class:`RefreshController`
+turns the latest committed dataset version into a new model version:
+
+1. **Plan** — a ``REFRESH.json`` work plan (target epochs, parent model,
+   dataset version) is written *before* any training, so a restarted
+   refresh finishes the same plan instead of inventing a new one.
+2. **Fine-tune** — the trainer resumes from the work directory's latest
+   valid checkpoint if one exists (bit-identical resume, PR 5), else
+   starts from the live model's registered checkpoint, else from
+   scratch. Training runs one epoch per :meth:`SGCLTrainer.pretrain`
+   call under :func:`~repro.resilience.interrupt_guard`, checkpointing
+   every epoch — a SIGKILL at any instant loses at most one epoch.
+3. **Register** — the trained state (including optimiser moments and
+   RNG streams, via :func:`register_trainer`) becomes
+   ``<base>-v<dataset version>`` in the :class:`ModelRegistry`.
+4. **Swap** — with a fleet attached, the new version canaries onto every
+   replica at full slice and is promoted atomically between requests;
+   only the digests whose graphs changed between the old and new dataset
+   versions are invalidated (:meth:`DatasetStore.superseded_digests`).
+   Until the promote, every row keeps being served by the old version —
+   never a mix.
+5. **Go live** — ``LIVE.json`` (atomic rename, the refresh's commit
+   point) records the new model, dataset version and training-corpus
+   statistics; drift detection for subsequent batches keys off it.
+
+Named :func:`~repro.validate.faults.crash_point` hooks between every
+stage let the chaos suite SIGKILL the loop anywhere and assert the
+restart invariants.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.config import SGCLConfig
+from ..core.trainer import SGCLTrainer
+from ..data.io import atomic_write
+from ..obs import current
+from ..resilience import find_latest_checkpoint, interrupt_guard
+from ..runtime import PrecomputeCache
+from ..serve import load_checkpoint, load_trainer
+from ..serve.service import EmbeddingService
+from ..validate.faults import crash_point
+from .drift import corpus_statistics
+from .store import DatasetStore
+
+__all__ = ["RefreshController", "RefreshOutcome", "register_trainer",
+           "read_live", "write_live", "swap_fleet"]
+
+_LIVE = "LIVE.json"
+_PLAN = "REFRESH.json"
+
+
+def read_live(root: str | Path) -> dict | None:
+    """The live pointer of a store root, or None before the first refresh."""
+    path = Path(root) / _LIVE
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_live(root: str | Path, payload: dict) -> Path:
+    """Atomically replace the live pointer (fsynced rename commit)."""
+    path = Path(root) / _LIVE
+    with atomic_write(path) as tmp:
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def register_trainer(registry, name: str, trainer: SGCLTrainer, *,
+                     metadata: dict | None = None) -> Path:
+    """Register a trainer's full state (not just the model) under ``name``.
+
+    :meth:`ModelRegistry.register` persists model + config + optimiser
+    but not the trainer's RNG streams; a refresh registered that way
+    could not be resumed bit-identically. This helper writes through
+    :meth:`SGCLTrainer.save_checkpoint` (which carries the RNG state and
+    history) to the registry's path and evicts any memoised service for
+    the name. Overwriting is deliberate: a restarted refresh re-registers
+    the identical trained state.
+    """
+    path = registry.path(name)
+    trainer.save_checkpoint(path, metadata={"name": name, **(metadata or {})})
+    registry.evict(name)
+    return path
+
+
+def swap_fleet(router, checkpoint: str | Path, version: str, *,
+               superseded=()) -> int:
+    """Hot-swap a fleet to ``version`` with selective cache invalidation.
+
+    The checkpoint bundle is read once; each replica gets its own
+    encoder/service (mirroring :func:`~repro.fleet.build_fleet`). The
+    canary covers the full digest slice and is promoted immediately —
+    the promote is atomic between requests, so no request ever sees two
+    versions. Caches are content-addressed by graph digest, so a changed
+    graph's *new* digest can never hit a stale row; the ``superseded``
+    (old) digests are dead weight and are evicted from the still-serving
+    replicas **before** the swap — exactly the changed graphs' entries,
+    nothing else. Returns the number of cache rows invalidated.
+    """
+    superseded = list(superseded)
+    invalidated = router.invalidate(superseded) if superseded else 0
+    bundle = load_checkpoint(checkpoint)
+    router.deploy_canary(lambda: EmbeddingService(bundle.build_encoder()),
+                         version, 1.0)
+    router.promote()
+    return invalidated
+
+
+@dataclass
+class RefreshOutcome:
+    """What one :meth:`RefreshController.refresh` call did."""
+
+    model: str | None
+    dataset_version: int
+    epochs_trained: int
+    resumed: bool = False
+    interrupted: bool = False
+    skipped: bool = False
+    invalidated: int = 0
+    checkpoint: str | None = None
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class RefreshController:
+    """Drive fine-tune → register → swap → go-live for a dataset store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`DatasetStore` being served.
+    registry:
+        :class:`~repro.serve.ModelRegistry` receiving refreshed models.
+    model_base:
+        Model names are ``<model_base>-v<dataset version>``.
+    epochs:
+        Fine-tune epochs per refresh (on top of the parent model's
+        history).
+    window:
+        Train on the last N batches only (None = the whole corpus);
+        dedupe by graph id applies either way.
+    config:
+        :class:`SGCLConfig` for from-scratch bootstraps (ignored when a
+        parent model exists — its checkpointed config wins).
+    router:
+        Optional :class:`~repro.fleet.FleetRouter` to hot-swap after
+        registration.
+    """
+
+    def __init__(self, store: DatasetStore, registry, *,
+                 model_base: str = "sgcl", epochs: int = 2,
+                 window: int | None = None,
+                 config: SGCLConfig | None = None,
+                 router=None, observer=None):
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.store = store
+        self.registry = registry
+        self.model_base = model_base
+        self.epochs = epochs
+        self.window = window
+        self.config = config
+        self.router = router
+        self._observer = observer
+
+    def _obs(self):
+        return self._observer if self._observer is not None else current()
+
+    def live(self) -> dict | None:
+        return read_live(self.store.root)
+
+    def model_name(self, dataset_version: int) -> str:
+        return f"{self.model_base}-v{dataset_version:06d}"
+
+    # ------------------------------------------------------------------
+    def _work_dir(self, dataset_version: int) -> Path:
+        return self.store.root / "refresh" / f"v{dataset_version:06d}"
+
+    def _plan(self, work_dir: Path, *, dataset_version: int,
+              parent_model: str | None, base_epochs: int) -> dict:
+        """Read the existing work plan, or commit a fresh one.
+
+        The plan pins the epoch target before the first epoch trains, so
+        a refresh killed and restarted N times still trains to exactly
+        the same total — the property the bit-identical-resume assertion
+        rests on.
+        """
+        path = work_dir / _PLAN
+        if path.exists():
+            return json.loads(path.read_text())
+        plan = {
+            "model": self.model_name(dataset_version),
+            "dataset_version": dataset_version,
+            "parent_model": parent_model,
+            "base_epochs": base_epochs,
+            "target_epochs": base_epochs + self.epochs,
+        }
+        with atomic_write(path) as tmp:
+            tmp.write_text(json.dumps(plan, indent=2, sort_keys=True))
+        return plan
+
+    # ------------------------------------------------------------------
+    def refresh(self, version: int | None = None, *,
+                force: bool = False) -> RefreshOutcome:
+        """Refresh the live model onto dataset ``version`` (default: newest).
+
+        No-ops (``skipped=True``) when the live model already covers the
+        target version, unless ``force``. Crash-safe and idempotent —
+        call it again after any interruption and it finishes the same
+        plan.
+        """
+        obs = self._obs()
+        manifest = self.store.resolve(version)
+        target = manifest["version"]
+        live = self.live()
+        if live is not None and live["dataset_version"] >= target \
+                and not force:
+            return RefreshOutcome(model=live["model"], dataset_version=target,
+                                  epochs_trained=0, skipped=True)
+        name = self.model_name(target)
+        work_dir = self._work_dir(target)
+        work_dir.mkdir(parents=True, exist_ok=True)
+        parent_model = live["model"] if live is not None else None
+
+        resumed = False
+        checkpoint = find_latest_checkpoint(work_dir)
+        if checkpoint is not None:
+            trainer = SGCLTrainer.from_checkpoint(checkpoint)
+            resumed = True
+            obs.event("refresh_resume", checkpoint=str(checkpoint),
+                      epochs_done=len(trainer.history))
+        elif parent_model is not None and parent_model in self.registry:
+            trainer = load_trainer(self.registry.path(parent_model))
+        else:
+            parent_model = None
+            config = self.config if self.config is not None else SGCLConfig()
+            trainer = SGCLTrainer(manifest["num_features"], config)
+        plan = self._plan(work_dir, dataset_version=target,
+                          parent_model=parent_model,
+                          base_epochs=len(trainer.history))
+        dataset = self.store.load(target, window=self.window)
+        start_epochs = len(trainer.history)
+        with obs.span("ingest/refresh"), \
+                interrupt_guard(on_interrupt=trainer.request_stop) as state:
+            while len(trainer.history) < plan["target_epochs"]:
+                if state.interrupted:
+                    break
+                trainer.pretrain(dataset.graphs, epochs=1,
+                                 checkpoint_dir=work_dir)
+                crash_point("refresh/epoch")
+        epochs_trained = len(trainer.history) - start_epochs
+        obs.increment("ingest/refresh_epochs", epochs_trained)
+        if state.interrupted or len(trainer.history) < plan["target_epochs"]:
+            obs.event("refresh_interrupted", model=name,
+                      epochs_done=len(trainer.history),
+                      target=plan["target_epochs"])
+            return RefreshOutcome(model=None, dataset_version=target,
+                                  epochs_trained=epochs_trained,
+                                  resumed=resumed, interrupted=True)
+        crash_point("refresh/trained")
+
+        path = register_trainer(self.registry, name, trainer, metadata={
+            "dataset_version": target,
+            "dataset_fingerprint": manifest["fingerprint"],
+            "parent_model": plan["parent_model"],
+            "refresh_epochs": self.epochs,
+        })
+        crash_point("refresh/registered")
+
+        invalidated = 0
+        if self.router is not None:
+            superseded = [] if live is None else \
+                self.store.superseded_digests(live["dataset_version"], target)
+            invalidated = swap_fleet(self.router, path, name,
+                                     superseded=superseded)
+
+        # Reference statistics for future drift checks: the corpus this
+        # model actually trained on, with K_V under the *new* generator.
+        # The K_V cache is namespaced by the dataset-version fingerprint,
+        # so a later refresh on the same graphs can never read this
+        # version's constants back (satellite: no stale precomputes).
+        cache = PrecomputeCache(self.store.root / "precompute",
+                                namespace=manifest["fingerprint"])
+        statistics = corpus_statistics(dataset.graphs,
+                                       generator=trainer.model.generator,
+                                       cache=cache)
+        crash_point("refresh/before_live")
+        write_live(self.store.root, {
+            "model": name,
+            "dataset_version": target,
+            "fingerprint": manifest["fingerprint"],
+            "epochs": len(trainer.history),
+            "statistics": statistics,
+            "updated": time.time(),
+        })
+        crash_point("refresh/live_written")
+        obs.increment("ingest/refreshes")
+        obs.event("refresh_live", model=name, dataset_version=target,
+                  epochs=len(trainer.history), invalidated=invalidated)
+        return RefreshOutcome(model=name, dataset_version=target,
+                              epochs_trained=epochs_trained, resumed=resumed,
+                              invalidated=invalidated,
+                              checkpoint=str(path))

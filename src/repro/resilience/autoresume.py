@@ -50,9 +50,13 @@ def find_latest_checkpoint(directory: str | Path,
                            pattern: str = "*.npz") -> Path | None:
     """Most advanced *valid* checkpoint under ``directory`` (or None).
 
-    Candidates are ranked by (epochs trained, modification time) and
-    verified in that order; the first one that passes a full integrity
-    check (readable archive, schema version, sha256 checksum) wins.
+    Candidates are ranked by (epochs trained, modification time,
+    filename) and verified in that order; the first one that passes a
+    full integrity check (readable archive, schema version, sha256
+    checksum) wins. The filename leg breaks mtime ties deterministically
+    — on filesystems with coarse timestamps, ``latest.npz`` and
+    ``epoch-0003.npz`` written in the same second would otherwise
+    resume in directory-iteration order.
     Corrupt, truncated or unreadable bundles are skipped and counted
     under ``resilience/corrupt_checkpoints`` — a crash mid-write therefore
     falls back to the previous valid checkpoint instead of raising.
@@ -70,7 +74,8 @@ def find_latest_checkpoint(directory: str | Path,
             obs.increment("resilience/corrupt_checkpoints")
             continue
         ranked.append((epochs, path.stat().st_mtime, path))
-    ranked.sort(key=lambda entry: (entry[0], entry[1]), reverse=True)
+    ranked.sort(key=lambda entry: (entry[0], entry[1], entry[2].name),
+                reverse=True)
     for _, _, path in ranked:
         if verify_checkpoint(path):
             return path

@@ -79,6 +79,12 @@ class PrecomputeCache:
         Cache directory (created lazily on first write). Entries are
         sharded into 256 sub-directories by fingerprint prefix so huge
         corpora do not produce one enormous flat directory.
+    namespace:
+        Optional logical partition mixed into every key's config-hash
+        half — e.g. a dataset-version fingerprint, so a refreshed
+        dataset version never reads the previous version's precomputes
+        even for byte-identical graphs. ``None`` (the default) keeps
+        keys identical to un-namespaced caches.
 
     Examples
     --------
@@ -88,13 +94,16 @@ class PrecomputeCache:
     ...     lambda: {"topo": topology_distance(graph.degrees())})
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, *, namespace: str | None = None):
         self.root = Path(root)
+        self.namespace = namespace
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
     def key(self, graph: Graph, spec: dict) -> str:
+        if self.namespace is not None:
+            spec = {"namespace": self.namespace, "spec": spec}
         return f"{graph_fingerprint(graph)}-{config_hash(spec)}"
 
     def path(self, graph: Graph, spec: dict) -> Path:

@@ -185,6 +185,22 @@ class EmbeddingService:
     def clear_cache(self) -> None:
         self._cache.clear()
 
+    def invalidate(self, digests: Iterable[str]) -> int:
+        """Drop the cached rows for ``digests``; returns how many existed.
+
+        The selective counterpart of :meth:`clear_cache` for incremental
+        refreshes: only entries whose source graphs changed are evicted
+        (``cache_invalidations`` counter), every other digest keeps its
+        warm row.
+        """
+        removed = 0
+        for digest in digests:
+            if self._cache.pop(digest, None) is not None:
+                removed += 1
+        if removed:
+            self.telemetry.increment("cache_invalidations", removed)
+        return removed
+
     @property
     def cache_len(self) -> int:
         return len(self._cache)

@@ -19,6 +19,8 @@ __all__ = ["run_doctor", "render_doctor_report"]
 
 def run_doctor(dataset_name: str, *, seed: int = 0, scale: float = 0.1,
                epochs: int = 1, batch_size: int = 16, max_graphs: int = 32,
+               drift_store: str | None = None,
+               drift_warn: float = 0.5, drift_refresh: float = 2.0,
                observer=None) -> dict:
     """Diagnose one dataset + the training path; returns a report dict.
 
@@ -28,6 +30,13 @@ def run_doctor(dataset_name: str, *, seed: int = 0, scale: float = 0.1,
     ``numerics_policy="skip"`` so a blow-up is *counted*, not fatal; any
     skipped batch, non-finite epoch loss, or hard failure in the hot path
     (recorded under ``smoke.error``) fails the verdict.
+
+    With ``drift_store`` pointing at a :class:`~repro.ingest.DatasetStore`
+    root that has gone live, a fourth ``drift`` section scores the
+    dataset against the live model's training statistics
+    (``validate/drift_*`` gauges); a score at or past ``drift_refresh``
+    fails the verdict — the data has drifted far enough that the live
+    model should not be trusted on it without a refresh.
     """
     from ..core import SGCLConfig, SGCLTrainer
     from ..data import load_dataset
@@ -54,7 +63,7 @@ def run_doctor(dataset_name: str, *, seed: int = 0, scale: float = 0.1,
     smoke_ok = (error is None and batches > 0 and skipped == 0
                 and all(np.isfinite(loss) for loss in losses))
 
-    return {
+    result = {
         "dataset": {"name": dataset.name, "task": dataset.task,
                     **dataset.statistics()},
         "validation": {
@@ -74,6 +83,38 @@ def run_doctor(dataset_name: str, *, seed: int = 0, scale: float = 0.1,
         },
         "ok": report.ok and smoke_ok,
     }
+    if drift_store is not None:
+        result["drift"] = _drift_section(
+            dataset, drift_store, warn_threshold=drift_warn,
+            refresh_threshold=drift_refresh, observer=observer)
+        result["ok"] = result["ok"] and result["drift"]["ok"]
+    return result
+
+
+def _drift_section(dataset, drift_store: str, *, warn_threshold: float,
+                   refresh_threshold: float, observer=None) -> dict:
+    """Score ``dataset`` against a store's live training statistics."""
+    from ..ingest import DriftDetector, corpus_statistics, read_live
+
+    live = read_live(drift_store)
+    if live is None:
+        return {"ok": True, "status": "no-reference", "scores": {},
+                "max_score": 0.0, "live_model": None}
+    try:
+        detector = DriftDetector(live["statistics"],
+                                 warn_threshold=warn_threshold,
+                                 refresh_threshold=refresh_threshold,
+                                 observer=observer)
+        drift = detector.check(corpus_statistics(dataset.graphs))
+    except ValueError as exc:
+        # Incomparable corpora (e.g. feature-dimension mismatch) are a
+        # finding in their own right, not a doctor crash.
+        return {"ok": False, "status": "incomparable", "scores": {},
+                "max_score": float("inf"), "live_model": live["model"],
+                "error": str(exc)}
+    return {"ok": not drift.refresh_due, "status": drift.status,
+            "scores": drift.scores, "max_score": drift.max_score,
+            "live_model": live["model"]}
 
 
 def render_doctor_report(report: dict) -> str:
@@ -98,6 +139,18 @@ def render_doctor_report(report: dict) -> str:
         f"final loss {smoke['final_loss']:.4f}")
     if smoke.get("error"):
         lines.append(f"  - aborted: {smoke['error']}")
+    drift = report.get("drift")
+    if drift is not None:
+        scores = ", ".join(f"{name}={score:.2f}"
+                           for name, score in sorted(drift["scores"].items()))
+        lines.append(
+            f"drift [{'ok' if drift['ok'] else 'FAIL'}]: "
+            f"status={drift['status']} max={drift['max_score']:.2f}"
+            + (f" ({scores})" if scores else "")
+            + (f" vs {drift['live_model']}" if drift.get("live_model")
+               else ""))
+        if drift.get("error"):
+            lines.append(f"  - {drift['error']}")
     lines.append("doctor: all checks passed" if report["ok"]
                  else "doctor: FAILED")
     return "\n".join(lines)

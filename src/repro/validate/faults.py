@@ -36,7 +36,7 @@ from ..graph import Graph
 
 __all__ = ["corrupt_features", "break_edge_symmetry", "point_edge_out_of_bounds",
            "corrupt_label", "inject_nan_loss",
-           "chaos_enabled", "KillWorkerOnce", "HangWorkerOnce",
+           "chaos_enabled", "crash_point", "KillWorkerOnce", "HangWorkerOnce",
            "corrupt_checkpoint", "FlakyIO"]
 
 
@@ -130,6 +130,34 @@ def inject_nan_loss(model, batches=(0,), attr: str = "loss"):
 def chaos_enabled() -> bool:
     """Whether the expensive chaos legs are enabled (``REPRO_CHAOS=1``)."""
     return os.environ.get("REPRO_CHAOS") == "1"
+
+
+def crash_point(name: str, *, exit_code: int = 9) -> None:
+    """SIGKILL-equivalent crash injector for named points in a pipeline.
+
+    Library code sprinkles ``crash_point("stage/step")`` calls at the
+    interesting commit boundaries (the ingest/refresh loop does); each
+    call is a no-op unless the ``REPRO_CRASH_AT`` environment variable
+    names exactly that point, in which case the process dies via
+    ``os._exit`` — no ``finally`` blocks, no atexit, exactly like a
+    ``kill -9`` landing between two syscalls.
+
+    When ``REPRO_CRASH_MARKER`` names a directory, the crash fires **once
+    per marker**: the first hit writes ``<name>.crashed`` there and dies,
+    the restarted process sails through — the marker-file protocol of
+    :class:`KillWorkerOnce`, generalised to in-process pipelines so a
+    chaos driver can re-run the same script and assert recovery.
+    """
+    if os.environ.get("REPRO_CRASH_AT") != name:
+        return
+    marker_dir = os.environ.get("REPRO_CRASH_MARKER")
+    if marker_dir:
+        marker = Path(marker_dir) / (name.replace("/", "__") + ".crashed")
+        if marker.exists():
+            return
+        marker.parent.mkdir(parents=True, exist_ok=True)
+        marker.write_text(name)
+    os._exit(exit_code)
 
 
 class KillWorkerOnce:

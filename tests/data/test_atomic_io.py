@@ -38,6 +38,53 @@ def test_failed_write_leaves_target_untouched(tmp_path):
     assert list(tmp_path.iterdir()) == [target]
 
 
+def test_atomic_write_fsyncs_file_then_dir_around_the_rename(tmp_path,
+                                                             monkeypatch):
+    """Durability ordering: flush data, rename, flush the directory entry.
+
+    Any other order can surface the target name pointing at unflushed
+    bytes after power loss. The fsync indirection (``repro.data.io._FSYNC``)
+    records what got flushed; os.replace is wrapped to place the rename
+    in the same timeline.
+    """
+    import os
+    import stat as stat_mod
+
+    import repro.data.io as io
+
+    events = []
+    real_replace = os.replace
+
+    def recording_fsync(fd):
+        mode = os.fstat(fd).st_mode
+        events.append("dir" if stat_mod.S_ISDIR(mode) else "file")
+        os.fsync(fd)
+
+    def recording_replace(src, dst):
+        events.append("rename")
+        real_replace(src, dst)
+
+    monkeypatch.setattr(io, "_FSYNC", recording_fsync)
+    monkeypatch.setattr(io.os, "replace", recording_replace)
+    target = tmp_path / "out.json"
+    with atomic_write(target) as tmp:
+        tmp.write_text("{}")
+    assert events == ["file", "rename", "dir"]
+    assert target.read_text() == "{}"
+
+
+def test_atomic_write_durable_false_skips_flushes(tmp_path, monkeypatch):
+    import repro.data.io as io
+
+    flushed = []
+    monkeypatch.setattr(io, "_FSYNC", lambda fd: flushed.append(fd))
+    target = tmp_path / "out.json"
+    with atomic_write(target, durable=False) as tmp:
+        tmp.write_text("{}")
+    assert flushed == []
+    assert target.read_text() == "{}"
+
+
 def test_save_dataset_into_missing_directory(tmp_path, rng):
     dataset = GraphDataset("tiny", [make_triangle(rng, y=0)], 2)
     path = save_dataset(dataset, tmp_path / "deep" / "nested" / "tiny.npz")

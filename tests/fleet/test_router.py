@@ -196,3 +196,31 @@ def test_stats_shape(checkpoint, corpus):
         assert worker_stats["backend"] == "inprocess"
         assert worker_stats["alive"] is True
         assert "occupancy" in worker_stats["service"]["cache"]
+
+
+def test_invalidate_evicts_only_named_digests_fleet_wide(checkpoint, corpus):
+    """Selective refresh: changed digests drop, warm rows keep serving."""
+    fleet = build_fleet(str(checkpoint), 3, cache_size=len(corpus))
+    fleet.embed(corpus)
+    assert fleet.stats()["cache"]["hits"] == 0
+
+    victims = [graph_digest(g) for g in corpus[:5]]
+    removed = fleet.invalidate(victims)
+    assert removed == 5  # each digest was cached on exactly one shard
+    assert fleet.invalidate(victims) == 0  # idempotent
+    assert fleet.telemetry.count("invalidated") == 5
+
+    fleet.embed(corpus)
+    # the unchanged rows served warm; only the victims recomputed
+    assert fleet.stats()["cache"]["hits"] == len(corpus) - 5
+    fleet.close()
+
+
+def test_service_invalidate_counts_rows(checkpoint, corpus):
+    service = EmbeddingService(load_checkpoint(str(checkpoint)).build_encoder(),
+                               cache_size=len(corpus))
+    service.embed(corpus)
+    digests = [graph_digest(g) for g in corpus[:3]]
+    assert service.invalidate(digests + ["not-a-digest"]) == 3
+    assert service.invalidate(digests) == 0
+    assert service.telemetry.count("cache_invalidations") == 3

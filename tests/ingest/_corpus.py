@@ -1,0 +1,26 @@
+"""Seeded corpora for the ingest tests: small, distinct chain graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph import Graph
+
+FEATURES = 6
+
+
+def make_corpus(seed: int = 0, n: int = 6, *, shift: float = 0.0,
+                ids: str | None = None) -> list[Graph]:
+    """``n`` distinct chain graphs; ``ids`` tags ``graph_id=<ids><i>``."""
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for i in range(n):
+        k = int(rng.integers(3, 8))
+        pairs = np.array([(j, j + 1) for j in range(k - 1)])
+        edge_index = np.concatenate([pairs, pairs[:, ::-1]], axis=0).T
+        graph = Graph(rng.normal(size=(k, FEATURES)) + shift, edge_index,
+                      y=int(i % 2))
+        if ids is not None:
+            graph.meta["graph_id"] = f"{ids}{i}"
+        graphs.append(graph)
+    return graphs

@@ -1,0 +1,106 @@
+"""Idempotent continuous-learning driver for the chaos suite.
+
+Runs the full loop against a work directory and prints one JSON summary:
+
+    recover -> ingest batch 1 -> bootstrap refresh -> ingest drifted
+    batch 2 (revises g0/g1, adds 3 new graphs) -> refresh -> build a
+    2-shard fleet from the live model -> embed the whole corpus
+
+Every stage is idempotent (content-addressed batches, dedupe on append,
+plan-pinned resumable refresh), so the script can be SIGKILLed at any
+:func:`repro.validate.faults.crash_point` and simply re-run. The chaos
+test compares the rerun's JSON to an uncrashed reference run: equality
+means no committed batch was lost, the fine-tune history is
+bit-identical, and every served row came from one model version.
+
+Usage: python tests/ingest/_driver.py <workdir>
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve()
+sys.path.insert(0, str(_HERE.parents[2] / "src"))
+sys.path.insert(0, str(_HERE.parents[1]))
+
+from ingest._corpus import make_corpus  # noqa: E402
+
+from repro.core import SGCLConfig  # noqa: E402
+from repro.fleet import build_fleet  # noqa: E402
+from repro.ingest import (  # noqa: E402
+    DatasetStore,
+    IngestPipeline,
+    RefreshController,
+    read_live,
+)
+from repro.serve import ModelRegistry, load_trainer  # noqa: E402
+
+CONFIG = SGCLConfig(hidden_dim=8, num_layers=2, batch_size=4, epochs=1,
+                    seed=0, precompute_cache_dir=None)
+
+
+def batch_one():
+    return make_corpus(seed=0, n=6, ids="g")
+
+
+def batch_two():
+    revised = [g.copy() for g in batch_one()[:2]]
+    for graph in revised:
+        graph.x = graph.x + 4.0
+    return revised + make_corpus(seed=1, n=3)
+
+
+def main(workdir: str) -> dict:
+    root = Path(workdir)
+    store = DatasetStore(root / "store")
+    store.recover()
+    registry = ModelRegistry(root / "registry")
+    controller = RefreshController(store, registry, epochs=2, config=CONFIG)
+    pipeline = IngestPipeline(store, controller=controller)
+
+    pipeline.ingest(batch_one())
+    controller.refresh()  # bootstrap (no-op when already live)
+
+    had_reference = read_live(store.root) is not None
+    report = pipeline.ingest(batch_two())
+    if had_reference and report.created:
+        assert report.refresh_due, f"expected drift refresh, got {report}"
+    controller.refresh()
+
+    live = read_live(store.root)
+    assert live is not None, "refresh never went live"
+    router = build_fleet(registry.path(live["model"]), 2,
+                         version=live["model"])
+    corpus = store.load().graphs
+    served = router.embed_detailed(corpus)
+    history = load_trainer(registry.path(live["model"])).history
+
+    head = store.resolve()
+    return {
+        "served_versions": sorted(served.served_versions()),
+        "served_rows": len(served.embeddings),
+        "live": {key: live[key] for key in
+                 ("model", "dataset_version", "fingerprint", "epochs")},
+        "live_has_kv": live["statistics"]["k_v"] is not None,
+        "versions": store.versions(),
+        "fingerprints": [m["fingerprint"] for m in
+                         store.chain(head["version"])],
+        "total_graphs": head["total_graphs"],
+        "distinct_graphs": len(store.id_digests(head["version"])),
+        "superseded": store.superseded_digests(1, head["version"]),
+        "history": [{k: v for k, v in row.items() if k != "epoch_seconds"}
+                    for row in history],
+        "registered": sorted(entry["name"] for entry in registry.list()),
+    }
+
+
+if __name__ == "__main__":
+    payload = main(sys.argv[1])
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    # never crash *after* the summary: flushing is the last observable act
+    sys.stdout.flush()
+    os._exit(0)

@@ -1,0 +1,113 @@
+"""Kill-anywhere chaos suite for the continuous-learning loop.
+
+The driver (``_driver.py``) runs ingest → bootstrap refresh → drifted
+ingest → refresh → serve, with named crash points between every commit
+step. Each scenario arms exactly one point (``REPRO_CRASH_AT`` + a
+one-shot marker dir), expects the hard kill (``os._exit(9)``), re-runs
+the driver unchanged, and asserts the end state is indistinguishable
+from a run that never crashed:
+
+* the served rows all come from one model version (zero mixing),
+* every committed batch survives (versions, fingerprint chain, graph
+  counts), and
+* the fine-tune history is bit-identical (wall-clock timings aside).
+
+The crash matrix is expensive (two subprocess training runs per point),
+so it rides behind ``REPRO_CHAOS=1`` like the other process-level chaos
+tests; the ``crash_point`` unit test always runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.validate.faults import chaos_enabled
+
+DRIVER = Path(__file__).resolve().parent / "_driver.py"
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+CRASH_POINTS = [
+    "ingest/before_batch_write",
+    "ingest/batch_written",
+    "ingest/committed",
+    "refresh/epoch",
+    "refresh/trained",
+    "refresh/registered",
+    "refresh/before_live",
+    "refresh/live_written",
+]
+
+
+def run_driver(workdir: Path, *, crash_at: str | None = None,
+               marker_dir: Path | None = None) -> subprocess.CompletedProcess:
+    env = {k: v for k, v in os.environ.items()
+           if k not in ("REPRO_CRASH_AT", "REPRO_CRASH_MARKER")}
+    env["PYTHONPATH"] = str(SRC)
+    if crash_at is not None:
+        env["REPRO_CRASH_AT"] = crash_at
+        env["REPRO_CRASH_MARKER"] = str(marker_dir)
+    return subprocess.run([sys.executable, str(DRIVER), str(workdir)],
+                          capture_output=True, text=True, env=env,
+                          timeout=600)
+
+
+def summary_of(proc: subprocess.CompletedProcess) -> dict:
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return json.loads(proc.stdout)
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory) -> dict:
+    """End state of an uncrashed driver run."""
+    proc = run_driver(tmp_path_factory.mktemp("reference"))
+    return summary_of(proc)
+
+
+def test_crash_point_fires_once_per_marker(tmp_path):
+    """Unit semantics of crash_point: armed kill, then one-shot no-op."""
+    code = ("from repro.validate.faults import crash_point; "
+            "crash_point('unit/test'); print('survived')")
+    env = {**os.environ, "PYTHONPATH": str(SRC),
+           "REPRO_CRASH_AT": "unit/test",
+           "REPRO_CRASH_MARKER": str(tmp_path)}
+    first = subprocess.run([sys.executable, "-c", code], env=env,
+                           capture_output=True, text=True, timeout=60)
+    assert first.returncode == 9
+    assert (tmp_path / "unit__test.crashed").exists()
+    second = subprocess.run([sys.executable, "-c", code], env=env,
+                            capture_output=True, text=True, timeout=60)
+    assert second.returncode == 0 and "survived" in second.stdout
+    # a different point name never fires
+    env["REPRO_CRASH_AT"] = "unit/other"
+    third = subprocess.run([sys.executable, "-c", code], env=env,
+                           capture_output=True, text=True, timeout=60)
+    assert third.returncode == 0
+
+
+@pytest.mark.skipif(not chaos_enabled(),
+                    reason="chaos tests run with REPRO_CHAOS=1")
+@pytest.mark.parametrize("point", CRASH_POINTS,
+                         ids=[p.replace("/", "-") for p in CRASH_POINTS])
+def test_kill_at_point_then_rerun_matches_reference(point, tmp_path,
+                                                    reference):
+    workdir = tmp_path / "work"
+    crashed = run_driver(workdir, crash_at=point, marker_dir=tmp_path / "m")
+    assert crashed.returncode == 9, (
+        f"crash point {point} never fired "
+        f"(rc={crashed.returncode}): {crashed.stderr[-2000:]}")
+
+    resumed = summary_of(
+        run_driver(workdir, crash_at=point, marker_dir=tmp_path / "m"))
+    assert resumed == reference
+
+    # spelled-out invariants, so a failure names what broke
+    assert len(resumed["served_versions"]) == 1          # zero mixing
+    assert resumed["versions"] == reference["versions"]  # no lost commits
+    assert resumed["fingerprints"] == reference["fingerprints"]
+    assert resumed["history"] == reference["history"]    # bit-identical

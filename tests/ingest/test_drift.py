@@ -1,0 +1,141 @@
+"""Drift statistics: exact merging, σ-normalised scores, thresholds."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ingest import (
+    DriftDetector,
+    combine_statistics,
+    corpus_statistics,
+    summarize_statistics,
+)
+from repro.obs import Observer
+
+from ._corpus import make_corpus
+
+
+def shifted(graphs, delta: float):
+    out = [g.copy() for g in graphs]
+    for graph in out:
+        graph.x = graph.x + delta
+    return out
+
+
+def test_statistics_roundtrip_json_and_match_numpy():
+    graphs = make_corpus(seed=0, n=5)
+    acc = corpus_statistics(graphs)
+    assert json.loads(json.dumps(acc)) == acc
+    summary = summarize_statistics(acc)
+    stacked = np.concatenate([g.x for g in graphs], axis=0)
+    np.testing.assert_allclose(summary["feature_mean"],
+                               stacked.mean(axis=0), atol=1e-12)
+    np.testing.assert_allclose(summary["feature_std"],
+                               stacked.std(axis=0), atol=1e-9)
+    degrees = np.concatenate([g.degrees() for g in graphs])
+    assert summary["degree_mean"] == pytest.approx(degrees.mean())
+    assert summary["degree_max"] == degrees.max()
+    assert summary["k_v_mean"] is None  # no generator supplied
+
+
+def test_statistics_reject_empty_and_mismatched_corpora():
+    with pytest.raises(ValueError):
+        corpus_statistics([])
+    graphs = make_corpus(seed=0, n=2)
+    bad = make_corpus(seed=1, n=1)
+    bad[0].x = bad[0].x[:, :3]
+    with pytest.raises(ValueError, match="dimension mismatch"):
+        corpus_statistics(graphs + bad)
+
+
+def test_combine_is_exact_and_batching_independent():
+    a = make_corpus(seed=0, n=4)
+    b = make_corpus(seed=1, n=3)
+    merged = combine_statistics(corpus_statistics(a), corpus_statistics(b))
+    direct = corpus_statistics(a + b)
+    for key in ("num_graphs", "num_nodes", "degree_max"):
+        assert merged[key] == direct[key]
+    np.testing.assert_allclose(merged["feature_sum"], direct["feature_sum"])
+    np.testing.assert_allclose(merged["feature_sumsq"],
+                               direct["feature_sumsq"])
+    assert merged["degree_sum"] == pytest.approx(direct["degree_sum"])
+
+
+def test_combine_drops_partial_kv():
+    acc = corpus_statistics(make_corpus(seed=0, n=2))
+    with_kv = dict(acc, k_v={"sum": 1.0, "sumsq": 1.0, "count": 2})
+    assert combine_statistics(acc, with_kv)["k_v"] is None
+    both = combine_statistics(with_kv, with_kv)
+    assert both["k_v"] == {"sum": 2.0, "sumsq": 2.0, "count": 4}
+
+
+def test_detector_passes_undrifted_batches():
+    reference = corpus_statistics(make_corpus(seed=0, n=40))
+    batch = corpus_statistics(make_corpus(seed=7, n=40))
+    report = DriftDetector(reference, observer=Observer()).check(batch)
+    assert report.status == "ok" and report.ok
+    assert report.max_score < 0.5
+    assert set(report.scores) == {"feature", "degree"}
+
+
+def test_detector_flags_shifted_features_and_reports_metrics():
+    graphs = make_corpus(seed=0, n=6)
+    observer = Observer()
+    detector = DriftDetector(corpus_statistics(graphs), observer=observer)
+    report = detector.check(corpus_statistics(shifted(graphs, 4.0)))
+    assert report.status == "refresh" and report.refresh_due
+    assert report.scores["feature"] >= 2.0
+    assert observer.metrics.gauge("validate/drift_feature") == \
+        report.scores["feature"]
+    assert observer.metrics.gauge("validate/drift_max") == report.max_score
+    assert observer.metrics.count("validate/drift_refresh") == 1
+    assert json.loads(json.dumps(report.to_dict())) == report.to_dict()
+
+
+def test_detector_warn_band_and_threshold_validation():
+    graphs = make_corpus(seed=0, n=6)
+    reference = corpus_statistics(graphs)
+    drifted = corpus_statistics(shifted(graphs, 4.0))
+    observer = Observer()
+    wide = DriftDetector(reference, warn_threshold=0.5,
+                         refresh_threshold=1e9, observer=observer)
+    assert wide.check(drifted).status == "warn"
+    assert observer.metrics.count("validate/drift_warn") == 1
+    with pytest.raises(ValueError):
+        DriftDetector(reference, warn_threshold=2.0, refresh_threshold=0.5)
+    with pytest.raises(ValueError):
+        DriftDetector(reference, warn_threshold=0.0)
+
+
+def test_detector_rejects_incomparable_dimensions():
+    reference = corpus_statistics(make_corpus(seed=0, n=3))
+    narrow = make_corpus(seed=1, n=3)
+    for graph in narrow:
+        graph.x = graph.x[:, :3]
+    with pytest.raises(ValueError, match="dimension mismatch"):
+        DriftDetector(reference, observer=Observer()).check(
+            corpus_statistics(narrow))
+
+
+def test_kv_moments_with_generator_and_cache(tmp_path):
+    from repro.core import SGCLConfig, SGCLTrainer
+    from repro.runtime import PrecomputeCache
+
+    graphs = make_corpus(seed=0, n=4)
+    trainer = SGCLTrainer(graphs[0].x.shape[1],
+                          SGCLConfig(hidden_dim=8, num_layers=2,
+                                     precompute_cache_dir=None))
+    cache = PrecomputeCache(tmp_path / "pc", namespace="vtest")
+    acc = corpus_statistics(graphs, generator=trainer.model.generator,
+                            cache=cache)
+    assert acc["k_v"]["count"] == sum(g.num_nodes for g in graphs)
+    assert acc["k_v"]["sum"] > 0
+    # kv drift appears only when both sides carry moments
+    detector = DriftDetector(acc, observer=Observer())
+    report = detector.check(acc)
+    assert report.scores["kv"] == pytest.approx(0.0, abs=1e-6)
+    bare = detector.check(corpus_statistics(graphs))
+    assert "kv" not in bare.scores

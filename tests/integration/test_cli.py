@@ -308,3 +308,104 @@ def test_profile_table_output_shows_hot_rows(capsys):
     out = capsys.readouterr().out
     assert "span" in out and "self ms" in out
     assert "attributed to" in out
+
+
+# ----------------------------------------------------------------------
+# Continuous learning: ingest + refresh
+# ----------------------------------------------------------------------
+def _ingest_args(tmp_path, extra=()):
+    return ["ingest", "--store", str(tmp_path / "store"),
+            "--registry", str(tmp_path / "registry"),
+            "--dataset", "MUTAG", "--scale", "0.08", "--batch-size", "8",
+            *extra]
+
+
+def test_ingest_then_refresh_then_drifted_ingest(capsys, tmp_path):
+    main(_ingest_args(tmp_path, ["--take", "8", "--json"]))
+    first = json.loads(capsys.readouterr().out)
+    assert first["version"] == 1 and first["created"]
+    assert first["drift"] is None  # nothing live yet
+
+    main(["refresh", "--store", str(tmp_path / "store"),
+          "--registry", str(tmp_path / "registry"),
+          "--batch-size", "8", "--refresh-epochs", "1", "--json"])
+    refreshed = json.loads(capsys.readouterr().out)
+    assert refreshed["model"] == "sgcl-v000001"
+    assert refreshed["epochs_trained"] == 1 and not refreshed["skipped"]
+
+    # replaying the same batch is a no-op commit
+    main(_ingest_args(tmp_path, ["--take", "8", "--json"]))
+    replay = json.loads(capsys.readouterr().out)
+    assert not replay["created"] and replay["action"] == "duplicate"
+
+    main(_ingest_args(tmp_path, ["--skip", "8", "--take", "8",
+                                 "--shift-features", "4.0", "--json"]))
+    drifted = json.loads(capsys.readouterr().out)
+    assert drifted["version"] == 2
+    assert drifted["action"] == "refresh"
+    assert drifted["drift"]["scores"]["feature"] >= 2.0
+    assert "kv" in drifted["drift"]["scores"]  # live generator was used
+
+    main(["refresh", "--store", str(tmp_path / "store"),
+          "--registry", str(tmp_path / "registry"),
+          "--batch-size", "8", "--refresh-epochs", "1", "--json"])
+    second = json.loads(capsys.readouterr().out)
+    assert second["model"] == "sgcl-v000002"
+
+
+def test_ingest_human_output_suggests_refresh(capsys, tmp_path):
+    main(_ingest_args(tmp_path, ["--take", "6"]))
+    out = capsys.readouterr().out
+    assert "version 1" in out
+
+    main(["refresh", "--store", str(tmp_path / "store"),
+          "--registry", str(tmp_path / "registry"),
+          "--batch-size", "8", "--refresh-epochs", "1"])
+    capsys.readouterr()
+
+    main(_ingest_args(tmp_path, ["--skip", "6", "--take", "6",
+                                 "--shift-features", "4.0"]))
+    out = capsys.readouterr().out
+    assert "drift crossed the refresh threshold" in out
+
+
+def test_refresh_requires_registry(tmp_path):
+    with pytest.raises(SystemExit, match="registry"):
+        main(["refresh", "--store", str(tmp_path / "store")])
+
+
+def test_refresh_watch_ingests_spool_and_goes_live(capsys, tmp_path):
+    from repro.data import GraphDataset, load_dataset
+    from repro.data.io import save_dataset
+
+    main(_ingest_args(tmp_path, ["--take", "8"]))
+    main(["refresh", "--store", str(tmp_path / "store"),
+          "--registry", str(tmp_path / "registry"),
+          "--batch-size", "8", "--refresh-epochs", "1"])
+    capsys.readouterr()
+
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    dataset = load_dataset("MUTAG", seed=0, scale=0.08)
+    drifted = [g.copy() for g in dataset.graphs[8:14]]
+    for graph in drifted:
+        graph.x = graph.x + 4.0
+    save_dataset(GraphDataset("stream", drifted, dataset.num_classes),
+                 spool / "batch-001.npz")
+
+    main(["refresh", "--store", str(tmp_path / "store"),
+          "--registry", str(tmp_path / "registry"),
+          "--batch-size", "8", "--refresh-epochs", "1",
+          "--watch", "--spool", str(spool),
+          "--interval", "0", "--max-cycles", "2", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["batches"] == 1
+    assert payload["refreshes"] == 1
+    assert payload["live"]["model"] == "sgcl-v000002"
+    assert (spool / "ingested" / "batch-001.npz").exists()
+
+
+def test_refresh_watch_requires_spool(tmp_path):
+    with pytest.raises(SystemExit, match="spool"):
+        main(["refresh", "--store", str(tmp_path / "store"),
+              "--registry", str(tmp_path / "registry"), "--watch"])

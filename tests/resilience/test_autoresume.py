@@ -174,6 +174,30 @@ def test_interrupted_then_resumed_matches_uninterrupted(tmp_path, graphs):
     assert all(np.array_equal(original[k], restored[k]) for k in original)
 
 
+def test_equal_epochs_and_mtime_break_ties_on_filename(tmp_path, graphs):
+    """Coarse filesystem timestamps must not make resume nondeterministic.
+
+    Two checkpoints with the same epoch count written within one
+    timestamp granule used to resume in directory-iteration order; the
+    filename leg (descending) pins the winner: ``latest.npz`` beats any
+    ``epoch-*.npz`` twin.
+    """
+    trainer = _trainer()
+    trainer.pretrain(graphs, epochs=1)
+    a = trainer.save_checkpoint(tmp_path / "epoch-0001.npz")
+    b = trainer.save_checkpoint(tmp_path / "latest.npz")
+    stamp = 1_700_000_000
+    import os
+    os.utime(a, (stamp, stamp))
+    os.utime(b, (stamp, stamp))
+    assert find_latest_checkpoint(tmp_path).name == "latest.npz"
+    # and the ordering is content-driven, not name-driven, when epochs differ
+    trainer.pretrain(graphs, epochs=1)
+    c = trainer.save_checkpoint(tmp_path / "epoch-0002.npz")
+    os.utime(c, (stamp, stamp))
+    assert find_latest_checkpoint(tmp_path).name == "epoch-0002.npz"
+
+
 def test_resume_picks_emergency_over_stale_latest(tmp_path, graphs):
     """latest.npz from an older run must lose to a more-trained emergency."""
     trainer = _trainer()

@@ -103,6 +103,28 @@ def test_hit_miss_metrics_on_ambient_observer(cache, triangle):
     assert observer.metrics.count("runtime/cache_hit") == 1
 
 
+def test_namespace_isolates_dataset_versions(tmp_path, triangle):
+    """Same graph + spec under a new dataset-version namespace must miss.
+
+    The refresh loop namespaces the K_V cache by the dataset version's
+    fingerprint; without this, a refreshed model could silently reuse
+    constants precomputed under the previous version's generator.
+    """
+    v1 = PrecomputeCache(tmp_path / "c", namespace="fp-v1")
+    v1.put(triangle, SPEC, {"k": np.arange(3.0)})
+    assert v1.get(triangle, SPEC) is not None
+
+    v2 = PrecomputeCache(tmp_path / "c", namespace="fp-v2")
+    assert v2.get(triangle, SPEC) is None  # new version: cold by design
+    v2.put(triangle, SPEC, {"k": np.zeros(3)})
+    assert np.array_equal(v1.get(triangle, SPEC)["k"], np.arange(3.0))
+
+    # un-namespaced handles keep their historical keys (back-compat)
+    bare = PrecomputeCache(tmp_path / "c")
+    assert bare.get(triangle, SPEC) is None
+    assert bare.stats()["entries"] == 2  # both versions live side by side
+
+
 def test_entries_shared_across_handles(tmp_path, triangle):
     """Content addressing makes the cache safely shareable on disk."""
     writer = PrecomputeCache(tmp_path / "c")

@@ -56,6 +56,89 @@ def test_run_doctor_flags_corruption(corrupted_dataset_name):
     assert "doctor: FAILED" in render_doctor_report(report)
 
 
+# ----------------------------------------------------------------------
+# Drifted-dataset detection (--drift-store)
+# ----------------------------------------------------------------------
+def _live_store(tmp_path, *, shift: float) -> str:
+    """A store root whose live statistics come from a shifted MUTAG copy."""
+    from repro.data import load_dataset
+    from repro.ingest import corpus_statistics, write_live
+
+    graphs = [g.copy() for g in load_dataset("MUTAG", seed=0,
+                                             scale=0.1).graphs]
+    for graph in graphs:
+        graph.x = graph.x + shift
+    root = tmp_path / "store"
+    root.mkdir()
+    write_live(root, {"model": "sgcl-v000001", "dataset_version": 1,
+                      "fingerprint": "f" * 16, "epochs": 2,
+                      "statistics": corpus_statistics(graphs)})
+    return str(root)
+
+
+def test_run_doctor_surfaces_drift_and_fails_at_refresh(tmp_path):
+    store = _live_store(tmp_path, shift=4.0)
+    report = run_doctor("MUTAG", seed=0, scale=0.1, epochs=1, max_graphs=12,
+                        drift_store=store)
+    assert not report["ok"]  # validation+smoke pass, drift alone fails it
+    assert report["validation"]["ok"] and report["smoke"]["ok"]
+    assert report["drift"]["status"] == "refresh"
+    assert report["drift"]["scores"]["feature"] >= 2.0
+    assert report["drift"]["live_model"] == "sgcl-v000001"
+    text = render_doctor_report(report)
+    assert "drift [FAIL]" in text and "doctor: FAILED" in text
+
+
+def test_run_doctor_drift_ok_and_no_reference(tmp_path):
+    matched = _live_store(tmp_path, shift=0.0)
+    report = run_doctor("MUTAG", seed=0, scale=0.1, epochs=1, max_graphs=12,
+                        drift_store=matched)
+    assert report["ok"] and report["drift"]["status"] == "ok"
+
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    report = run_doctor("MUTAG", seed=0, scale=0.1, epochs=1, max_graphs=12,
+                        drift_store=str(empty))
+    assert report["ok"] and report["drift"]["status"] == "no-reference"
+
+
+def test_run_doctor_drift_incomparable_fails(tmp_path):
+    from repro.ingest import write_live
+
+    from _helpers import make_triangle
+
+    rng = np.random.default_rng(0)
+    narrow = [make_triangle(rng, features=3)]
+    from repro.ingest import corpus_statistics
+
+    root = tmp_path / "store"
+    root.mkdir()
+    write_live(root, {"model": "m", "dataset_version": 1,
+                      "fingerprint": "f" * 16, "epochs": 1,
+                      "statistics": corpus_statistics(narrow)})
+    report = run_doctor("MUTAG", seed=0, scale=0.1, epochs=1, max_graphs=12,
+                        drift_store=str(root))
+    assert not report["ok"]
+    assert report["drift"]["status"] == "incomparable"
+    assert "error" in report["drift"]
+
+
+def test_doctor_cli_exits_nonzero_on_drift(tmp_path, capsys):
+    store = _live_store(tmp_path, shift=4.0)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["doctor", "--dataset", "MUTAG", "--scale", "0.1",
+              "--epochs", "1", "--max-graphs", "12",
+              "--drift-store", store])
+    assert excinfo.value.code == 1
+    out = capsys.readouterr().out
+    assert "drift [FAIL]" in out
+    # raising the refresh threshold turns the same drift into a warning
+    main(["doctor", "--dataset", "MUTAG", "--scale", "0.1",
+          "--epochs", "1", "--max-graphs", "12", "--drift-store", store,
+          "--drift-refresh", "1e9"])
+    assert "status=warn" in capsys.readouterr().out
+
+
 def test_doctor_cli_passes_on_clean_dataset(capsys):
     main(["doctor", "--dataset", "MUTAG", "--scale", "0.1",
           "--epochs", "1", "--max-graphs", "12"])
